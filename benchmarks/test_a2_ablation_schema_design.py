@@ -1,0 +1,152 @@
+"""Ablation A2 — Integrated schema design (section 5.2).
+
+The paper's first design stored each device's data in a *child entry* of
+the person; "the lack of transactions in LDAP forced us to give up this
+technique", because person+child updates cannot be applied atomically.
+The shipped design uses one auxiliary class per device so every read/write
+unit is a single entry.
+
+This ablation demonstrates all three corners:
+
+* child-entry design, plain LDAP: a crash between the two updates strands
+  a half-updated pair (the failure that killed the design);
+* auxiliary-class design: the same logical update is one atomic operation;
+* child-entry design *with* the section-5.3 site-transaction extension:
+  the original design becomes viable, exactly as the paper predicts
+  ("If LDAP were extended with transactions, the original solution would
+  be viable as well").
+"""
+
+import pytest
+from conftest import report
+
+from repro.ldap import (
+    DN,
+    Entry,
+    LdapConnection,
+    LdapServer,
+    Modification,
+)
+
+ROWS: list[tuple] = []
+
+
+class MidPairCrash(RuntimeError):
+    pass
+
+
+def build_server() -> LdapServer:
+    server = LdapServer(["o=L"])
+    conn = LdapConnection(server)
+    conn.add("o=L", {"objectClass": "organization", "o": "L"})
+    return server
+
+
+def seed_child_design(conn: LdapConnection) -> None:
+    conn.add(
+        "cn=P,o=L",
+        {"objectClass": "person", "cn": "P", "sn": "P", "description": "v1"},
+    )
+    conn.add(
+        "cn=pbx,cn=P,o=L",
+        {"objectClass": "person", "cn": "pbx", "sn": "-",
+         "telephoneNumber": "4100", "description": "v1"},
+    )
+
+
+def test_a2_child_entry_design_crash_strands_pair(benchmark):
+    """Parent and child must both move from v1 to v2; a crash between the
+    two plain LDAP operations leaves a mixed state."""
+
+    def run():
+        server = build_server()
+        conn = LdapConnection(server)
+        seed_child_design(conn)
+        try:
+            conn.modify("cn=P,o=L", [Modification.replace("description", "v2")])
+            raise MidPairCrash()  # the UM dies here
+            # never reached:
+            conn.modify("cn=pbx,cn=P,o=L", [Modification.replace("description", "v2")])
+        except MidPairCrash:
+            pass
+        parent = conn.get("cn=P,o=L").first("description")
+        child = conn.get("cn=pbx,cn=P,o=L").first("description")
+        return parent, child
+
+    parent, child = benchmark.pedantic(run, rounds=3)
+    assert (parent, child) == ("v2", "v1")  # the stranded mixed state
+    ROWS.append(("child entries, plain LDAP", "2 ops", "yes (v2/v1 mix)"))
+
+
+def test_a2_auxiliary_class_design_atomic(benchmark):
+    """The shipped design: both 'sides' live on one entry, so the same
+    logical update is a single atomic Modify — no window exists."""
+
+    def run():
+        server = build_server()
+        conn = LdapConnection(server)
+        conn.add(
+            "cn=P,o=L",
+            {"objectClass": "person", "cn": "P", "sn": "P",
+             "description": "v1", "telephoneNumber": "4100"},
+        )
+        # One operation covers person + device data; a crash before it
+        # changes nothing, a crash after it changes everything.
+        conn.modify(
+            "cn=P,o=L",
+            [
+                Modification.replace("description", "v2"),
+                Modification.replace("telephoneNumber", "4200"),
+            ],
+        )
+        entry = conn.get("cn=P,o=L")
+        return entry.first("description"), entry.first("telephoneNumber")
+
+    desc, phone = benchmark.pedantic(run, rounds=3)
+    assert (desc, phone) == ("v2", "4200")
+    ROWS.append(("auxiliary classes (shipped)", "1 op", "no"))
+
+
+def test_a2_child_entry_design_with_site_transactions(benchmark):
+    """With the section-5.3 extension the original design works: the pair
+    commits atomically, and a failure rolls the whole pair back."""
+
+    def run():
+        server = build_server()
+        conn = LdapConnection(server)
+        seed_child_design(conn)
+        with server.backend.transaction() as txn:
+            txn.modify(
+                DN.parse("cn=P,o=L"), [Modification.replace("description", "v2")]
+            )
+            txn.modify(
+                DN.parse("cn=pbx,cn=P,o=L"),
+                [Modification.replace("description", "v2")],
+            )
+        parent = conn.get("cn=P,o=L").first("description")
+        child = conn.get("cn=pbx,cn=P,o=L").first("description")
+
+        # And the failure case: nothing moves.
+        try:
+            with server.backend.transaction() as txn:
+                txn.modify(
+                    DN.parse("cn=P,o=L"), [Modification.replace("description", "v3")]
+                )
+                txn.modify(
+                    DN.parse("cn=ghost,cn=P,o=L"),
+                    [Modification.replace("description", "v3")],
+                )
+        except Exception:
+            pass
+        parent_after_abort = conn.get("cn=P,o=L").first("description")
+        return parent, child, parent_after_abort
+
+    parent, child, parent_after_abort = benchmark.pedantic(run, rounds=3)
+    assert (parent, child) == ("v2", "v2")
+    assert parent_after_abort == "v2"  # the aborted v3 pair fully rolled back
+    ROWS.append(("child entries + site transactions", "1 txn", "no"))
+    report(
+        "A2: schema designs vs the crash window (section 5.2)",
+        ["design", "update unit", "crash window"],
+        ROWS,
+    )

@@ -1,0 +1,89 @@
+"""E14 — Entry-location cost: equality indexes vs tree scans.
+
+Not a paper table (the paper reports no micro-benchmarks), but it
+quantifies the substrate choice behind E5/E12: every Update Manager
+fan-out locates the person entry by its device key
+(``definityExtension=...``).  An equality index turns that from a subtree
+scan into a hash probe, which is what keeps sync and fan-out costs linear
+rather than quadratic in directory size.
+"""
+
+import pytest
+from conftest import report
+
+from repro.ldap import DN, Entry, LdapServer
+
+ROWS: list[tuple] = []
+
+
+def build(size: int, indexed: bool) -> LdapServer:
+    server = LdapServer(["o=L"])
+    server.backend.add(Entry("o=L", {"objectClass": "organization", "o": "L"}))
+    if indexed:
+        server.backend.create_index("telephoneNumber")
+    for i in range(size):
+        server.backend.add(
+            Entry(
+                f"cn=U{i},o=L",
+                {"objectClass": "person", "cn": f"U{i}", "sn": "U",
+                 "telephoneNumber": str(10000 + i)},
+            )
+        )
+    return server
+
+
+@pytest.mark.parametrize("size", [100, 1000, 5000])
+@pytest.mark.parametrize("indexed", [False, True])
+def test_e14_equality_lookup(benchmark, size, indexed):
+    server = build(size, indexed)
+    base = DN.parse("o=L")
+    probe = str(10000 + size // 2)
+
+    def lookup():
+        return server.backend.search(
+            base, filter=f"(telephoneNumber={probe})"
+        )
+
+    hits = benchmark(lookup)
+    assert len(hits) == 1
+    mode = "indexed" if indexed else "scan"
+    ROWS.append((size, mode))
+    if size == 5000 and indexed:
+        report(
+            "E14: equality lookup configurations (times in benchmark table)",
+            ["directory size", "mode"],
+            ROWS,
+        )
+
+
+def test_e14_scaling_shape(benchmark):
+    """Without timing noise: indexed probes touch O(1) entries, scans O(n)."""
+    import time
+
+    measurements = {}
+    for indexed in (False, True):
+        server = build(4000, indexed)
+        base = DN.parse("o=L")
+
+        def burst():
+            for i in range(50):
+                server.backend.search(
+                    base, filter=f"(telephoneNumber={10000 + i})"
+                )
+
+        start = time.perf_counter()
+        burst()
+        measurements["indexed" if indexed else "scan"] = (
+            time.perf_counter() - start
+        )
+    benchmark(lambda: server.backend.search(base, filter="(telephoneNumber=10000)"))
+    speedup = measurements["scan"] / measurements["indexed"]
+    report(
+        "E14: 50 key lookups over 4000 entries",
+        ["mode", "seconds", "speedup"],
+        [
+            ("scan", f"{measurements['scan']:.4f}", "1.0x"),
+            ("indexed", f"{measurements['indexed']:.4f}", f"{speedup:.0f}x"),
+        ],
+    )
+    assert speedup > 5, f"index speedup only {speedup:.1f}x"

@@ -1,0 +1,109 @@
+"""E15 — Materialized view vs virtual mediator (the section-3 decision).
+
+Claim: "unlike mediators where queries posed against the unified system
+are dynamically executed at the various data sources, because of
+reliability and performance requirements, MetaComm materializes subsets of
+the data from the various sources in an integrated directory."
+
+We implement the mediator baseline (`repro.core.mediator.VirtualMediator`)
+and measure both stated reasons:
+
+* **performance** — query latency at growing population sizes;
+* **reliability** — behaviour when a device becomes unreachable.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core import MediatorError, VirtualMediator
+from conftest import fresh_system
+from repro.workloads import make_population, populate_via_ldap
+
+ROWS: list[tuple] = []
+
+
+def build(size: int):
+    system = fresh_system()
+    populate_via_ldap(system, make_population(size))
+    mediator = VirtualMediator(system.um.bindings, system.suffix)
+    probe = f"(definityExtension={4000 + size // 2})"
+    return system, mediator, probe
+
+
+@pytest.mark.parametrize("size", [20, 100, 400])
+def test_e15_materialized_query(benchmark, size):
+    system, _mediator, probe = build(size)
+    conn = system.connection()
+
+    def query():
+        return conn.search(system.suffix, filter=probe)
+
+    hits = benchmark(query)
+    assert len(hits) == 1
+
+
+@pytest.mark.parametrize("size", [20, 100, 400])
+def test_e15_virtual_query(benchmark, size):
+    _system, mediator, probe = build(size)
+
+    def query():
+        return mediator.search(probe)
+
+    hits = benchmark(query)
+    assert len(hits) == 1
+    if size == 400:
+        report(
+            "E15: one key lookup, materialized directory vs virtual mediator "
+            "(times in benchmark table; shape: virtual re-maps every device "
+            "record per query, materialized probes an index)",
+            ["population", "virtual records mapped per query"],
+            [(size, mediator.statistics["records_mapped"]
+              // mediator.statistics["queries"])],
+        )
+
+
+def test_e15_equivalent_answers(benchmark):
+    """Both architectures answer identically while everything is up."""
+    system, mediator, _probe = build(30)
+    conn = system.connection()
+
+    def both():
+        materialized = {
+            e.first("definityExtension")
+            for e in conn.search(system.suffix, filter="(definityExtension=*)")
+        }
+        virtual = {
+            e.first("definityExtension")
+            for e in mediator.search("(definityExtension=*)")
+        }
+        return materialized, virtual
+
+    materialized, virtual = benchmark.pedantic(both, rounds=1)
+    assert materialized == virtual
+
+
+def test_e15_availability_under_device_outage(benchmark):
+    """The reliability half of the claim: the mediator dies with its
+    sources; the materialized directory keeps answering."""
+    system, mediator, probe = build(20)
+    conn = system.connection()
+    system.messaging.available = False  # the MP goes down
+
+    def materialized_query():
+        return conn.search(system.suffix, filter=probe)
+
+    hits = benchmark(materialized_query)
+    assert len(hits) == 1  # the directory still answers, mailbox data included
+    assert hits[0].first("mpMailboxId", "").startswith("MB-")
+
+    with pytest.raises(MediatorError):
+        mediator.search(probe)
+
+    report(
+        "E15: answering queries while the messaging platform is down",
+        ["architecture", "outcome"],
+        [
+            ("materialized (MetaComm)", "full answer incl. mailbox data"),
+            ("virtual mediator", "query fails: source unavailable"),
+        ],
+    )

@@ -1,0 +1,108 @@
+"""E3 — Transitive closure of attribute mappings.
+
+Claims (section 4.2):
+
+* related attributes update together ("If either changes, lexpress changes
+  the other");
+* propagation crosses repositories ("it also uses the LDAP-to-MP mapping
+  to change the voice mailbox identifier");
+* cost scales with the length of the dependency chain, reaching a fixpoint.
+
+We benchmark the paper's own 3-repository web, then sweep synthetic chains
+of k schemas to chart cost vs chain length.
+"""
+
+import pytest
+from conftest import report
+
+from repro.lexpress import ClosureEngine, compile_description
+from repro.schemas import standard_mappings
+
+ROWS: list[tuple] = []
+
+
+def test_e3_paper_web(benchmark):
+    """The exact PBX <-> LDAP <-> MP scenario from section 4.2."""
+    engine = ClosureEngine(standard_mappings().values())
+
+    def propagate():
+        return engine.propagate(
+            "pbx",
+            {"Extension": "4200", "Name": "Doe, John"},
+            changed=["Extension"],
+        )
+
+    result = benchmark(propagate)
+    ldap = result.image("ldap")
+    assert ldap["definityExtension"] == ["4200"]
+    assert ldap["telephoneNumber"] == ["+1 908 582 4200"]
+    mp = result.image("mp")
+    assert mp["TelephoneNumber"] == ["+1 908 582 4200"]
+    report(
+        "E3: one Extension change fans out across three schemas",
+        ["schema", "derived attributes"],
+        [
+            ("ldap", sorted(result.changed.get("ldap", set()))),
+            ("mp", sorted(result.changed.get("mp", set()))),
+        ],
+    )
+
+
+def chain_description(k: int) -> str:
+    """k hops: s0.x -> s1.x -> ... -> sk.x (identity transforms)."""
+    parts = []
+    for i in range(k):
+        parts.append(
+            f"""
+            mapping hop{i} {{
+                source s{i};
+                target s{i + 1};
+                key k -> k;
+                map x = upper(x);
+            }}
+            """
+        )
+    return "\n".join(parts)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
+def test_e3_chain_length_scaling(benchmark, k):
+    engine = ClosureEngine(compile_description(chain_description(k)).values())
+
+    def propagate():
+        return engine.propagate("s0", {"x": "seed", "k": "1"}, changed=["x"])
+
+    result = benchmark(propagate)
+    # The change reached the end of the chain...
+    assert result.image(f"s{k}")["x"] == ["SEED"]
+    # ...in one worklist step per hop (plus the initial one).
+    assert result.iterations <= k + 1
+    ROWS.append((k, result.iterations, len(result.images)))
+    if k == 16:
+        report(
+            "E3: closure cost vs dependency-chain length",
+            ["chain length k", "worklist steps", "schemas touched"],
+            ROWS,
+        )
+        # Shape: linear in k, not quadratic.
+        steps = {row[0]: row[1] for row in ROWS}
+        assert steps[16] <= 2 * 16
+
+
+def test_e3_first_mapping_wins_conflict(benchmark):
+    """Inconsistently set attributes don't fight: first mapping wins."""
+    engine = ClosureEngine(standard_mappings().values())
+
+    def conflicting():
+        return engine.propagate(
+            "ldap",
+            {"telephoneNumber": "+1 908 582 4111", "definityExtension": "4999"},
+            changed=["telephoneNumber", "definityExtension"],
+            explicit=["telephoneNumber", "definityExtension"],
+        )
+
+    result = benchmark(conflicting)
+    ldap = result.image("ldap")
+    assert ldap["telephoneNumber"] == ["+1 908 582 4111"]
+    assert ldap["definityExtension"] == ["4999"]
+    assert not result.unstable_conflicts()

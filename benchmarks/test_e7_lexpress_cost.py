@@ -1,0 +1,90 @@
+"""E7 — lexpress compilation and translation cost.
+
+Claims (section 4.2): descriptions "can be added dynamically (to running
+programs) by compiling them at run-time", and "a few minutes are
+sufficient to map a new source to the global schema" — i.e. the human
+writes the mapping in minutes and the machine compiles it in negligible
+time.  We benchmark compile time for the standard library and synthetic
+mappings of growing size, plus steady-state translation throughput.
+"""
+
+import pytest
+from conftest import report
+
+from repro.lexpress import UpdateDescriptor, UpdateOp, compile_description
+from repro.schemas import render_mp_pair, render_pbx_pair, standard_mappings
+
+ROWS: list[tuple] = []
+
+
+def test_e7_compile_standard_library(benchmark):
+    source = render_pbx_pair() + render_mp_pair()
+
+    mappings = benchmark(compile_description, source)
+    assert len(mappings) == 4
+    total_rules = sum(len(m.rules) for m in mappings.values())
+    report(
+        "E7: compiling the standard telecom mapping library",
+        ["mappings", "rules", "source lines"],
+        [(len(mappings), total_rules, source.count("\n"))],
+    )
+
+
+def synthetic_mapping(rules: int) -> str:
+    lines = [
+        "mapping big {",
+        "    source a;",
+        "    target b;",
+        "    key k -> K;",
+    ]
+    for i in range(rules):
+        lines.append(
+            f'    map t{i} = match a{i} {{ /^(\\w+)$/ => upper($1); _ => concat(a{i}, "-{i}"); }};'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("rules", [10, 50, 200])
+def test_e7_compile_scaling(benchmark, rules):
+    source = synthetic_mapping(rules)
+    mappings = benchmark(compile_description, source)
+    assert len(mappings["big"].rules) == rules + 1  # + implicit key rule
+    ROWS.append((rules, source.count("\n")))
+    if rules == 200:
+        report(
+            "E7: compile input sizes (times in the benchmark table)",
+            ["rules", "source lines"],
+            ROWS,
+        )
+
+
+def test_e7_translation_throughput(benchmark):
+    """Per-update translation cost in steady state (bytecode interpreter)."""
+    mapping = standard_mappings()["pbx_to_ldap"]
+    descriptor = UpdateDescriptor(
+        UpdateOp.MODIFY,
+        "pbx",
+        "4100",
+        old={"Extension": "4100", "Name": "Doe, John", "Room": "1A"},
+        new={"Extension": "4100", "Name": "Doe, John", "Room": "2B"},
+    )
+
+    update = benchmark(mapping.translate, descriptor)
+    assert update.changed == {"definityRoom": ["2B"]}
+
+
+def test_e7_incremental_vs_full_evaluation(benchmark):
+    """Dependency analysis pays: a modify touching one unmapped attribute
+    is rejected without evaluating any rule."""
+    mapping = standard_mappings()["pbx_to_ldap"]
+    irrelevant = UpdateDescriptor(
+        UpdateOp.MODIFY,
+        "pbx",
+        "4100",
+        old={"Extension": "4100", "VendorFlag": "a"},
+        new={"Extension": "4100", "VendorFlag": "b"},
+    )
+
+    result = benchmark(mapping.translate, irrelevant)
+    assert result is None or not result.changed

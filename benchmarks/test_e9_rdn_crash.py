@@ -1,0 +1,119 @@
+"""E9 — The ModifyRDN/Modify window and UM-crash recovery.
+
+Claim (section 5.1): "updates that modify both the RDN and other
+attributes must be handled by a ModifyRDN/Modify pair of operations ...
+if the UM crashes between the ModifyRDN and the Modify operations, the
+entry will be inconsistent for readers ... When the UM restarts and
+re-synchronizes the directory with the devices, the inconsistencies will
+be eliminated."
+
+We inject the crash at exactly that point, verify readers observe the
+half-applied state, and benchmark the restart-resynchronization that
+repairs it.  We also confirm the coincidence is as narrow as the paper
+argues: only complex DDUs (RDN + other data) open the window at all.
+"""
+
+from conftest import fresh_system, report
+
+from repro.core import UmCrash
+
+
+def crashed_system():
+    system = fresh_system()
+    system.terminal().execute('add station 4200 name "Smith, Pat" room 1A')
+
+    def crash(stage):
+        raise UmCrash(stage)
+
+    system.ldap_filter.crash_hook = crash
+    try:
+        system.terminal().execute(
+            'change station 4200 name "Smith, Patricia" room 9Z'
+        )
+    except UmCrash:
+        pass
+    system.ldap_filter.crash_hook = None
+    return system
+
+
+def test_e9_window_visible_then_repaired(benchmark):
+    def setup():
+        return (crashed_system(),), {}
+
+    def restart_and_resync(system):
+        system.sync.synchronize("definity")
+        return system
+
+    # Before the repair, readers see the rename without the room change.
+    probe = crashed_system()
+    (entry,) = probe.find_person("(definityExtension=4200)")
+    assert entry.first("cn") == "Patricia Smith"   # ModifyRDN applied
+    assert entry.first("definityRoom") == "1A"     # Modify lost in the crash
+    assert not probe.consistent()
+
+    system = benchmark.pedantic(restart_and_resync, setup=setup, rounds=3)
+    (entry,) = system.find_person("(definityExtension=4200)")
+    assert entry.first("cn") == "Patricia Smith"
+    assert entry.first("definityRoom") == "9Z"
+    assert system.consistent()
+    report(
+        "E9: reader-visible window after a UM crash mid-rename",
+        ["stage", "cn", "definityRoom", "consistent"],
+        [
+            ("after crash", "Patricia Smith", "1A (stale)", "no"),
+            ("after restart+resync", "Patricia Smith", "9Z", "yes"),
+        ],
+    )
+
+
+def test_e9_simple_updates_have_no_window(benchmark):
+    """A DDU that does not touch the RDN is a single LDAP operation — a
+    crash hook at the pair-boundary never fires."""
+    system = fresh_system()
+    system.terminal().execute('add station 4200 name "Smith, Pat" room 1A')
+    fired = []
+    system.ldap_filter.crash_hook = lambda stage: fired.append(stage)
+
+    def simple_ddu(counter=iter(range(10**6))):
+        system.terminal().execute(
+            f"change station 4200 room R{next(counter) % 997}"
+        )
+
+    benchmark(simple_ddu)
+    assert fired == []  # the window only exists for RDN+data updates
+    assert system.consistent()
+
+
+def test_e9_ltap_locking_prevents_interleaving(benchmark):
+    """Section 5.1: "locking at the LTAP level prevents the interleaving
+    of operations at the LDAP level" — while a rename pair is in flight,
+    another writer to the same entry is blocked (busy), not interleaved."""
+    from repro.ldap import BusyError, LdapError, Modification, ResultCode
+
+    system = fresh_system(lock_timeout=0.05)
+    system.terminal().execute('add station 4200 name "Smith, Pat" room 1A')
+    outcomes = []
+
+    def contender(stage):
+        conn = system.connection()
+        (entry,) = system.find_person("(definityExtension=4200)")
+        try:
+            conn.modify(entry.dn, [Modification.replace("definityCOS", "9")])
+            outcomes.append("interleaved")
+        except LdapError as exc:
+            outcomes.append(
+                "blocked" if exc.code is ResultCode.BUSY else "error"
+            )
+
+    system.ldap_filter.crash_hook = contender
+    names = iter(range(10**6))
+
+    def rename():
+        n = next(names)
+        system.terminal().execute(
+            f'change station 4200 name "Smith, P{n}" room R{n % 97}'
+        )
+
+    benchmark(rename)
+    system.ldap_filter.crash_hook = None
+    assert outcomes and all(o == "blocked" for o in outcomes)

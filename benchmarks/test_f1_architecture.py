@@ -1,0 +1,83 @@
+"""F1 — Figure 1: the MetaComm architecture, end to end.
+
+Claim (sections 1/4): an update entering through *either* path — the LDAP
+directory or a legacy device — fans out through LTAP → Update Manager →
+filters until every repository agrees.  The benchmark times one complete
+traversal of each path and verifies every Figure-1 component took part.
+"""
+
+import itertools
+
+from conftest import fresh_system, person_attrs, report
+
+
+_counter = itertools.count(4100)
+
+
+def test_f1_ldap_path_full_stack(benchmark):
+    """One LDAP add: gateway → trigger → UM → PBX + MP + supplemental."""
+    system = fresh_system()
+    conn = system.connection()
+
+    def add_user():
+        ext = str(next(_counter) % 10000)
+        if len(ext) < 4:
+            ext = "4" + ext.zfill(3)
+        conn.add(
+            f"cn=User {ext},o=Marketing,o=Lucent",
+            person_attrs(f"User {ext}", "User", definityExtension=ext),
+        )
+        return ext
+
+    ext = benchmark(add_user)
+
+    # Every component of Figure 1 participated.
+    assert system.gateway.statistics["updates_processed"] > 0     # LTAP
+    assert system.um.statistics["ldap_events"] > 0                # UM trigger
+    assert system.um.statistics["fanned_out"] > 0                 # filters
+    assert system.pbx().contains(ext)                             # Definity
+    assert system.messaging.contains(f"+1 908 582 {ext}")         # MP
+    assert system.um.statistics["supplemental_writes"] > 0        # write-back
+    assert system.consistent()
+
+    report(
+        "F1: one LDAP-originated update traverses the whole architecture",
+        ["component", "evidence"],
+        [
+            ("LTAP gateway", f"updates_processed={system.gateway.statistics['updates_processed']}"),
+            ("Update Manager", f"ldap_events={system.um.statistics['ldap_events']}"),
+            ("device filters", f"fanned_out={system.um.statistics['fanned_out']}"),
+            ("LDAP write-back", f"supplemental={system.um.statistics['supplemental_writes']}"),
+        ],
+    )
+
+
+def test_f1_ddu_path_full_stack(benchmark):
+    """One craft-terminal change: device → filter → LDAP filter → LTAP →
+    UM → fan-out (including conditional reapply at the origin)."""
+    system = fresh_system()
+    terminal = system.terminal()
+    conn = system.connection()
+    conn.add(
+        "cn=John Doe,o=Marketing,o=Lucent",
+        person_attrs("John Doe", "Doe", definityExtension="4100"),
+    )
+    rooms = itertools.count(100)
+
+    def ddu():
+        terminal.execute(f"change station 4100 room R{next(rooms) % 1000}")
+
+    benchmark(ddu)
+
+    assert system.um.statistics["ddus"] > 0
+    assert system.um.statistics["reapplied"] > 0  # write-write consistency
+    assert system.consistent()
+    report(
+        "F1: direct device updates loop back through LTAP",
+        ["metric", "value"],
+        [
+            ("DDUs observed", system.um.statistics["ddus"]),
+            ("reapplied to origin", system.um.statistics["reapplied"]),
+            ("consistent", True),
+        ],
+    )

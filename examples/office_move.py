@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Office move across PBX partitions (paper section 4.2).
+
+"When a person's telephone number changes, the Definity PBX that manages
+the person's extension may also change.  In this case lexpress translates
+a modification of a telephone number into two updates: a deletion in one
+PBX and an add in another PBX."
+
+Two switches share the site: pbx-west owns extensions 41xx-42xx, pbx-east
+owns 43xx.  One LDAP modify moves an employee between buildings; MetaComm
+performs the delete-at-west / add-at-east migration automatically.
+
+Run:  python examples/office_move.py
+"""
+
+from repro.core import MetaComm, MetaCommConfig, PbxConfig
+from repro.ldap import Modification
+from repro.schemas import PERSON_CLASSES
+
+
+def show_switches(system: MetaComm) -> None:
+    for name in ("pbx-west", "pbx-east"):
+        stations = [r["Extension"] for r in system.pbx(name).list_stations()]
+        print(f"  {name}: stations {stations or '(none)'}")
+
+
+def main() -> None:
+    system = MetaComm(
+        MetaCommConfig(
+            organizations=("R&D",),
+            pbxes=[
+                PbxConfig("pbx-west", ("41", "42")),
+                PbxConfig("pbx-east", ("43",)),
+            ],
+        )
+    )
+    conn = system.connection()
+
+    print("== Hiring Pat Smith in the west building ==")
+    conn.add(
+        "cn=Pat Smith,o=R&D,o=Lucent",
+        {
+            "objectClass": list(PERSON_CLASSES),
+            "cn": "Pat Smith",
+            "sn": "Smith",
+            "definityExtension": "4150",
+            "definityRoom": "W2-100",
+        },
+    )
+    show_switches(system)
+
+    print("\n== Pat moves to the east building (one LDAP modify) ==")
+    conn.modify(
+        "cn=Pat Smith,o=R&D,o=Lucent",
+        [
+            Modification.replace("definityExtension", "4310"),
+            Modification.replace("telephoneNumber", "+1 908 582 4310"),
+            Modification.replace("definityRoom", "E1-220"),
+        ],
+    )
+    show_switches(system)
+    print("  (the modification became a delete at pbx-west and an add at pbx-east)")
+
+    print("\nEast station record:", system.pbx("pbx-east").station("4310"))
+    print("Voice mailbox follows the number:",
+          system.messaging.subscriber("+1 908 582 4310")["MailboxId"])
+    print("\nAll repositories consistent:", system.consistent())
+
+
+if __name__ == "__main__":
+    main()

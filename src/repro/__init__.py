@@ -1,0 +1,34 @@
+"""MetaComm: a meta-directory for telecommunications.
+
+A full, from-scratch reproduction of the ICDE 2000 industrial paper by
+Freire, Lieuwen, Ordille et al. (Bell Labs).  The package layout follows
+the paper's architecture (Figure 1):
+
+* :mod:`repro.ldap` — an in-memory LDAP directory service (DIT, schema,
+  RFC 2254 filters, LDIF, replication);
+* :mod:`repro.ltap` — the LTAP trigger gateway (triggers, entry locks,
+  persistent connections, quiesce);
+* :mod:`repro.lexpress` — the declarative schema-mapping language
+  (compiler → byte code → interpreter, transitive closure, partitioning);
+* :mod:`repro.devices` — legacy device simulators (Definity PBX with an
+  OSSI terminal, voice messaging platform);
+* :mod:`repro.schemas` — the integrated X.500 schema and standard mappings;
+* :mod:`repro.core` — the Update Manager, filters, synchronizer, and the
+  :class:`~repro.core.MetaComm` facade;
+* :mod:`repro.wba` — web-based administration and the hoteling app;
+* :mod:`repro.workloads` — synthetic population/update-stream generators.
+
+Quickstart::
+
+    from repro.core import MetaComm, MetaCommConfig
+
+    system = MetaComm(MetaCommConfig(organizations=("Marketing",)))
+    conn = system.connection()           # through the LTAP gateway
+    terminal = system.terminal()         # the legacy craft terminal
+"""
+
+from .core.metacomm import MetaComm, MetaCommConfig, PbxConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["MetaComm", "MetaCommConfig", "PbxConfig", "__version__"]

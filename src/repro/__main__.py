@@ -1,0 +1,108 @@
+"""Command-line entry point: ``python -m repro [command]``.
+
+Commands
+--------
+demo        the quickstart walk-through (default)
+tree        build and print the paper's Figure-2 sample tree as LDIF
+mappings    show the standard telecom mapping library (source + disassembly)
+experiments list the experiment harness and how to run it
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def cmd_demo() -> int:
+    from repro.core import MetaComm, MetaCommConfig
+    from repro.schemas import PERSON_CLASSES
+
+    system = MetaComm(MetaCommConfig(organizations=("Marketing",)))
+    conn = system.connection()
+    print("MetaComm demo — one update per path of Figure 1\n")
+    conn.add(
+        "cn=John Doe,o=Marketing,o=Lucent",
+        {
+            "objectClass": list(PERSON_CLASSES),
+            "cn": "John Doe",
+            "sn": "Doe",
+            "definityExtension": "4100",
+        },
+    )
+    print("LDAP add  -> station:", system.pbx().station("4100"))
+    print("          -> mailbox:", system.messaging.mailbox_of("+1 908 582 4100"))
+    system.terminal().execute("change station 4100 room 2B-110")
+    entry = conn.get("cn=John Doe,o=Marketing,o=Lucent")
+    print("DDU       -> directory definityRoom:", entry.get("definityRoom"))
+    print("\nconsistent:", system.consistent())
+    print("UM stats: ", system.um.statistics)
+    return 0
+
+
+def cmd_tree() -> int:
+    from repro.ldap import LdapConnection, LdapServer, write_ldif
+
+    server = LdapServer(["o=Lucent"])
+    conn = LdapConnection(server)
+    conn.add("o=Lucent", {"objectClass": "organization", "o": "Lucent"})
+    figure2 = {
+        "Marketing": "John Doe",
+        "Accounting": "Pat Smith",
+        "R&D": "Tim Dickens",
+        "DEN Group": "Jill Lu",
+    }
+    for org, cn in figure2.items():
+        conn.add(f"o={org},o=Lucent", {"objectClass": "organization", "o": org})
+        conn.add(
+            f"cn={cn},o={org},o=Lucent",
+            {"objectClass": "person", "cn": cn, "sn": cn.split()[-1]},
+        )
+    print(write_ldif(server.backend.all_entries()))
+    return 0
+
+
+def cmd_mappings() -> int:
+    from repro.schemas import render_mp_pair, render_pbx_pair, standard_mappings
+
+    print(render_pbx_pair())
+    print(render_mp_pair())
+    print("# --- compiled rule disassembly (pbx_to_ldap.cn) ---")
+    mapping = standard_mappings()["pbx_to_ldap"]
+    for rule in mapping.rules:
+        if rule.target == "cn":
+            print(rule.code.disassemble())
+    return 0
+
+
+def cmd_experiments() -> int:
+    print(
+        "Experiment harness (one module per DESIGN.md row):\n"
+        "  pytest benchmarks/ --benchmark-only        # timings\n"
+        "  pytest benchmarks/ --benchmark-only -s     # + result tables\n\n"
+        "F1/F2 reproduce the paper's figures; E1-E13 its behavioural\n"
+        "claims; A1-A4 are ablations of the design decisions.  See\n"
+        "EXPERIMENTS.md for the paper-claim vs measured summary."
+    )
+    return 0
+
+
+COMMANDS = {
+    "demo": cmd_demo,
+    "tree": cmd_tree,
+    "mappings": cmd_mappings,
+    "experiments": cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    name = argv[0] if argv else "demo"
+    command = COMMANDS.get(name)
+    if command is None:
+        print(__doc__)
+        return 2
+    return command()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

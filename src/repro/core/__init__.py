@@ -1,0 +1,40 @@
+"""MetaComm core: the Update Manager, filters, synchronizer and facade."""
+
+from .errorlog import AdminNotification, ErrorLog
+from .filters import (
+    UM_AGENT,
+    ApplyResult,
+    DeviceFilter,
+    Filter,
+    FilterError,
+    LdapFilter,
+    UmCrash,
+)
+from .mediator import MediatorError, VirtualMediator
+from .metacomm import MetaComm, MetaCommConfig, PbxConfig
+from .queue import GlobalUpdateQueue, QueuedUpdate
+from .sync import SyncReport, Synchronizer
+from .update_manager import DeviceBinding, UpdateManager
+
+__all__ = [
+    "AdminNotification",
+    "ApplyResult",
+    "DeviceBinding",
+    "DeviceFilter",
+    "ErrorLog",
+    "Filter",
+    "FilterError",
+    "GlobalUpdateQueue",
+    "LdapFilter",
+    "MediatorError",
+    "MetaComm",
+    "MetaCommConfig",
+    "PbxConfig",
+    "QueuedUpdate",
+    "SyncReport",
+    "Synchronizer",
+    "UM_AGENT",
+    "UmCrash",
+    "UpdateManager",
+    "VirtualMediator",
+]

@@ -1,0 +1,112 @@
+"""Failure logging into the directory.
+
+Paper section 4.4: "If failure occurs while an update is being applied to
+one of the various devices (e.g., an update is invalid), the update is
+aborted, an error is logged into the directory, and a notification is sent
+to the administrator.  The administrator can browse through the errors and
+manually fix the resulting inconsistencies at a later time."
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ldap.dn import DN, Rdn
+from ..ldap.entry import Entry
+from ..ldap.result import LdapError
+from ..ldap.server import LdapServer
+
+
+@dataclass(frozen=True)
+class AdminNotification:
+    """What the administrator's pager receives."""
+
+    error_id: str
+    target: str
+    message: str
+    dn: str
+
+
+AdminListener = Callable[[AdminNotification], None]
+
+
+class ErrorLog:
+    """Writes error entries under ``cn=errors,<suffix>`` and pages admins.
+
+    The log writes directly to the server backend (not through LTAP): an
+    error record must never itself fire trigger processing."""
+
+    def __init__(self, server: LdapServer, suffix: DN | str):
+        self.server = server
+        if isinstance(suffix, str):
+            suffix = DN.parse(suffix)
+        self.base = suffix.child("ou=errors")
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._listeners: list[AdminListener] = []
+        self._clock = 0
+        self._ensure_base()
+
+    def _ensure_base(self) -> None:
+        if not self.server.backend.contains(self.base):
+            self.server.backend.add(
+                Entry(
+                    self.base,
+                    {
+                        "objectClass": ["top", "organizationalUnit"],
+                        "ou": "errors",
+                        "description": "MetaComm update failure log",
+                    },
+                )
+            )
+
+    def add_admin_listener(self, listener: AdminListener) -> None:
+        self._listeners.append(listener)
+
+    def record(self, target: str, message: str, context: str = "") -> AdminNotification:
+        """Log one failure; returns the notification sent to admins."""
+        with self._lock:
+            self._clock += 1
+            error_id = f"error-{next(self._seq):06d}"
+            timestamp = str(self._clock)
+        entry = Entry(
+            self.base.child(Rdn.single("cn", error_id)),
+            {
+                "objectClass": ["top", "metacommErrorEntry"],
+                "cn": error_id,
+                "metacommError": message[:512],
+                "metacommErrorTime": timestamp,
+                "metacommErrorTarget": target,
+                **({"description": context[:512]} if context else {}),
+            },
+        )
+        try:
+            self.server.backend.add(entry)
+        except LdapError:
+            # Last-ditch: the log must never make a failure worse.
+            pass
+        notification = AdminNotification(error_id, target, message, str(entry.dn))
+        for listener in list(self._listeners):
+            listener(notification)
+        return notification
+
+    def entries(self) -> list[Entry]:
+        """All logged errors, oldest first (the admin's browse view)."""
+        hits = self.server.backend.search(
+            self.base, filter="(objectClass=metacommErrorEntry)"
+        )
+        return sorted(hits, key=lambda e: e.first("cn") or "")
+
+    def clear(self) -> int:
+        """Purge handled errors; returns how many were removed."""
+        removed = 0
+        for entry in self.entries():
+            self.server.backend.delete(entry.dn)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.entries())

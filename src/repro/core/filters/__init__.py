@@ -1,0 +1,16 @@
+"""Per-repository filters: protocol converter + lexpress mapper."""
+
+from .base import ApplyResult, DduHandler, Filter, FilterError
+from .device_filter import UM_AGENT, DeviceFilter
+from .ldap_filter import LdapFilter, UmCrash
+
+__all__ = [
+    "ApplyResult",
+    "DduHandler",
+    "DeviceFilter",
+    "Filter",
+    "FilterError",
+    "LdapFilter",
+    "UM_AGENT",
+    "UmCrash",
+]

@@ -1,0 +1,100 @@
+"""Filter framework: the per-repository adapters of MetaComm.
+
+Paper section 4.1: "a filter is associated with each repository type.
+Each filter has two components: a protocol converter and mapper.  The
+protocol converter provides a unified API for all repositories, which
+consists of: a method to retrieve a record given its key (or id); the
+ability to receive notifications from the device; and methods to add,
+modify and delete records in the device.  Additionally ... the API must
+also provide a method to retrieve all relevant data from the repository."
+
+The mapper half lives in lexpress; a filter holds the compiled mappings
+for its schema pair and applies :class:`TargetUpdate`\\ s to its
+repository — including the section-5.4 conditional semantics for
+reapplied updates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ...lexpress.descriptor import TargetAction, TargetUpdate, UpdateDescriptor
+
+
+class FilterError(Exception):
+    """An update could not be applied at a repository.
+
+    Carries enough context for the Update Manager's error log."""
+
+    def __init__(self, target: str, message: str):
+        super().__init__(f"{target}: {message}")
+        self.target = target
+        self.message = message
+
+
+@dataclass
+class ApplyResult:
+    """What applying one TargetUpdate produced."""
+
+    target: str
+    action: TargetAction
+    applied: bool
+    #: True when conditional recovery kicked in (add→modify or modify→add).
+    recovered: bool = False
+    #: Device-generated information to fold back into the directory
+    #: (section 5.5) — e.g. {"MailboxId": ["MB-000123"]}.
+    generated: dict[str, list[str]] = field(default_factory=dict)
+
+
+#: Signature for the UM callback a filter invokes on a direct device update.
+DduHandler = Callable[["Filter", UpdateDescriptor], None]
+
+
+class Filter(abc.ABC):
+    """One repository adapter: protocol converter + mapper."""
+
+    def __init__(self, name: str, schema: str):
+        #: Instance name, e.g. ``pbx-west`` (appears in Originator checks).
+        self.name = name
+        #: Schema name the repository speaks, e.g. ``pbx``.
+        self.schema = schema
+        self.statistics = {
+            "applied": 0,
+            "skipped": 0,
+            "conditional": 0,
+            "recovered": 0,
+            "failed": 0,
+            "ddus": 0,
+        }
+
+    # -- unified repository API (section 4.1) ---------------------------------
+
+    @abc.abstractmethod
+    def fetch(self, key: str) -> dict[str, list[str]] | None:
+        """Retrieve a record by key; None when absent."""
+
+    @abc.abstractmethod
+    def dump(self) -> list[dict[str, list[str]]]:
+        """All relevant records (the synchronization API)."""
+
+    @abc.abstractmethod
+    def apply(self, update: TargetUpdate) -> ApplyResult:
+        """Apply a translated update to the repository."""
+
+    # -- bookkeeping helpers ------------------------------------------------------
+
+    def _track(self, result: ApplyResult, update: TargetUpdate) -> ApplyResult:
+        if update.conditional:
+            self.statistics["conditional"] += 1
+        if result.recovered:
+            self.statistics["recovered"] += 1
+        if result.applied:
+            self.statistics["applied"] += 1
+        else:
+            self.statistics["skipped"] += 1
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

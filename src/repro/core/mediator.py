@@ -1,0 +1,110 @@
+"""The virtual-view mediator baseline.
+
+Paper section 3: "unlike mediators where queries posed against the unified
+system are dynamically executed at the various data sources, because of
+reliability and performance requirements, MetaComm materializes subsets of
+the data from the various sources in an integrated directory."
+
+This module implements the road not taken — a classic Wiederhold-style
+mediator [27] over the same filters and mappings: every query fans out to
+the live devices, maps their records into the integrated schema on the
+fly, joins per person, and evaluates the LDAP filter over the virtual
+entries.  Experiment E15 uses it as the baseline for the paper's two
+stated reasons to materialize instead:
+
+* **performance** — a virtual query costs a full dump+map of every device,
+  every time; the materialized directory answers from its own (indexed)
+  tree;
+* **reliability/availability** — a virtual query dies with any unreachable
+  device; the materialized view keeps answering ("updates can still be
+  made directly to the device even if the directory becomes inaccessible"
+  cuts both ways: reads keep working when devices are down).
+"""
+
+from __future__ import annotations
+
+from ..ldap.dn import DN, Rdn
+from ..ldap.entry import Entry
+from ..ldap.filter import Filter, parse_filter
+from ..schemas.integrated import PERSON_CLASSES
+from .update_manager import DeviceBinding
+
+
+class MediatorError(RuntimeError):
+    """A source needed by the query could not be reached."""
+
+
+class VirtualMediator:
+    """Answers integrated-schema queries by live fan-out to the devices."""
+
+    def __init__(
+        self,
+        bindings: list[DeviceBinding],
+        suffix: DN | str = "o=Lucent",
+        person_classes: tuple[str, ...] = PERSON_CLASSES,
+    ):
+        self.bindings = list(bindings)
+        self.suffix = DN.parse(suffix) if isinstance(suffix, str) else suffix
+        self.person_classes = person_classes
+        self.statistics = {"queries": 0, "source_dumps": 0, "records_mapped": 0}
+
+    # -- the read path -----------------------------------------------------------
+
+    def search(self, filter_text: str | Filter) -> list[Entry]:
+        """Evaluate an LDAP filter over the virtual integrated view."""
+        self.statistics["queries"] += 1
+        compiled = parse_filter(filter_text)
+        entries = self._materialize_virtual_view()
+        return [e for e in entries if compiled.matches(e)]
+
+    def _materialize_virtual_view(self) -> list[Entry]:
+        """Dump every source and join records into virtual person entries.
+
+        Records from different devices describing the same person are
+        joined on the integrated key chain: the PBX key maps to
+        ``definityExtension`` → ``telephoneNumber`` joins the MP record.
+        """
+        people: dict[str, dict[str, list[str]]] = {}
+
+        def join_key(image: dict[str, list[str]]) -> str | None:
+            for attr in ("telephoneNumber", "definityExtension"):
+                for name, values in image.items():
+                    if name.lower() == attr.lower() and values:
+                        return f"{attr.lower()}={values[0].lower()}"
+            return None
+
+        for binding in self.bindings:
+            try:
+                records = binding.filter.dump()
+            except Exception as exc:
+                raise MediatorError(
+                    f"source {binding.name} unavailable: {exc}"
+                ) from exc
+            self.statistics["source_dumps"] += 1
+            for record in records:
+                self.statistics["records_mapped"] += 1
+                image = binding.to_ldap.image(record) or {}
+                key = join_key(image)
+                if key is None:
+                    continue
+                merged = people.setdefault(key, {})
+                for name, values in image.items():
+                    merged.setdefault(name, list(values))
+            # Phone-derived join: a PBX image carries telephoneNumber, so
+            # an MP record for the same number lands in the same bucket.
+
+        entries: list[Entry] = []
+        for merged in people.values():
+            cn = next(
+                (v[0] for n, v in merged.items() if n.lower() == "cn" and v),
+                None,
+            )
+            if cn is None:
+                cn = next(iter(merged.values()))[0]
+            attrs: dict[str, object] = {"objectClass": list(self.person_classes)}
+            attrs.update(merged)
+            attrs.setdefault("sn", [cn.split()[-1]])
+            entries.append(
+                Entry(self.suffix.child(Rdn.single("cn", cn)), attrs)  # type: ignore[arg-type]
+            )
+        return entries

@@ -1,0 +1,249 @@
+"""The MetaComm facade: wires the whole Figure-1 architecture together.
+
+One call builds the LDAP server (with the integrated schema), the LTAP
+gateway in front of it, the legacy devices, one filter per repository, the
+Update Manager with the standard mapping library, the error log and the
+synchronizer::
+
+    from repro.core import MetaComm, MetaCommConfig, PbxConfig
+
+    system = MetaComm(MetaCommConfig(
+        pbxes=[PbxConfig("pbx-west", ("41", "42")),
+               PbxConfig("pbx-east", ("43",))],
+    ))
+    conn = system.connection()            # any LDAP tool — via LTAP
+    terminal = system.terminal("pbx-west")  # the legacy craft interface
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.messaging.platform import MessagingPlatform
+from ..devices.pbx.definity import DefinityPbx, partition_expression
+from ..devices.pbx.ossi import OssiTerminal
+from ..ldap.client import LdapConnection
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.server import LdapServer
+from ..lexpress.partition import PartitionConstraint
+from ..ltap.gateway import LtapGateway
+from ..schemas.integrated import build_integrated_schema
+from ..schemas.mappings import DEFAULT_PHONE_PREFIX, standard_mappings
+from .errorlog import ErrorLog
+from .filters.device_filter import DeviceFilter
+from .filters.ldap_filter import LdapFilter
+from .sync import Synchronizer
+from .update_manager import DeviceBinding, UpdateManager
+
+
+@dataclass(frozen=True)
+class PbxConfig:
+    """One Definity switch in the deployment."""
+
+    name: str = "definity"
+    extension_prefixes: tuple[str, ...] = ("4",)
+
+
+@dataclass
+class MetaCommConfig:
+    """Deployment parameters for a MetaComm instance."""
+
+    suffix: str = "o=Lucent"
+    #: Where new person entries land (defaults to the suffix).
+    people_container: str | None = None
+    #: Additional organization entries to create under the suffix.
+    organizations: tuple[str, ...] = ()
+    phone_prefix: str = DEFAULT_PHONE_PREFIX
+    pbxes: tuple[PbxConfig, ...] | list[PbxConfig] = (PbxConfig(),)
+    messaging_name: str | None = "messaging"
+    lock_timeout: float = 5.0
+    #: Abort the remaining fan-out when one device rejects an update
+    #: (section 4.4 semantics).  False = best-effort to all devices.
+    abort_on_failure: bool = True
+    #: Section 4.4 future work: saga-style compensation — undo the device
+    #: updates already applied in an aborted sequence.
+    undo_on_failure: bool = False
+
+
+class MetaComm:
+    """A fully wired MetaComm system."""
+
+    def __init__(self, config: MetaCommConfig | None = None):
+        self.config = config or MetaCommConfig()
+        suffix = DN.parse(self.config.suffix)
+
+        self.schema = build_integrated_schema()
+        self.server = LdapServer(
+            [suffix], schema=self.schema, server_id="metacomm"
+        )
+        self._bootstrap_tree(suffix)
+
+        self.gateway = LtapGateway(self.server, lock_timeout=self.config.lock_timeout)
+        self.error_log = ErrorLog(self.server, suffix)
+        self.mappings = standard_mappings(self.config.phone_prefix)
+
+        people_container = (
+            DN.parse(self.config.people_container)
+            if self.config.people_container
+            else suffix
+        )
+        self.ldap_filter = LdapFilter(
+            self.gateway,
+            people_base=suffix,
+            default_container=people_container,
+        )
+
+        self.pbxes: dict[str, DefinityPbx] = {}
+        bindings: list[DeviceBinding] = []
+        for pbx_config in self.config.pbxes:
+            pbx = DefinityPbx(pbx_config.name, pbx_config.extension_prefixes)
+            self.pbxes[pbx.name] = pbx
+            bindings.append(
+                DeviceBinding(
+                    filter=DeviceFilter(pbx, schema="pbx"),
+                    to_ldap=self.mappings["pbx_to_ldap"],
+                    from_ldap=self.mappings["ldap_to_pbx"],
+                    partition=PartitionConstraint.compile(partition_expression(pbx)),
+                )
+            )
+
+        self.messaging: MessagingPlatform | None = None
+        if self.config.messaging_name:
+            self.messaging = MessagingPlatform(self.config.messaging_name)
+            bindings.append(
+                DeviceBinding(
+                    filter=DeviceFilter(self.messaging, schema="mp"),
+                    to_ldap=self.mappings["mp_to_ldap"],
+                    from_ldap=self.mappings["ldap_to_mp"],
+                )
+            )
+
+        self.um = UpdateManager(
+            self.server,
+            self.gateway,
+            self.ldap_filter,
+            bindings,
+            self.error_log,
+            abort_on_failure=self.config.abort_on_failure,
+            undo_on_failure=self.config.undo_on_failure,
+        )
+        self.sync = Synchronizer(self.um)
+        self.suffix = suffix
+
+        # Equality indexes on the hot lookup paths: entry location by
+        # device key and the person-class searches of every fan-out.
+        for attribute in ("definityExtension", "telephoneNumber", "objectClass"):
+            self.server.backend.create_index(attribute)
+
+    # -- bootstrap ------------------------------------------------------------------
+
+    def _bootstrap_tree(self, suffix: DN) -> None:
+        self.server.backend.add(
+            Entry(
+                suffix,
+                {"objectClass": ["top", "organization"], "o": suffix.rdn.value},
+            )
+        )
+        for org in self.config.organizations:
+            self.server.backend.add(
+                Entry(
+                    suffix.child(f"o={org}"),
+                    {"objectClass": ["top", "organization"], "o": org},
+                )
+            )
+        if self.config.people_container:
+            container = DN.parse(self.config.people_container)
+            if not self.server.backend.contains(container):
+                self.server.backend.add(
+                    Entry(
+                        container,
+                        {
+                            "objectClass": ["top", "organizationalUnit"],
+                            "ou": container.rdn.value,
+                        },
+                    )
+                )
+
+    # -- handles -----------------------------------------------------------------------
+
+    def connection(self) -> LdapConnection:
+        """A fresh LDAP client connection *through the LTAP gateway* —
+        what 'any LDAP tool' in the paper connects to."""
+        return LdapConnection(self.gateway)
+
+    def direct_connection(self) -> LdapConnection:
+        """A connection straight to the server, bypassing LTAP (reads only
+        if you want the system to stay consistent!)."""
+        return LdapConnection(self.server)
+
+    def pbx(self, name: str | None = None) -> DefinityPbx:
+        if name is None:
+            if len(self.pbxes) != 1:
+                raise KeyError("several PBXes configured; name one")
+            return next(iter(self.pbxes.values()))
+        return self.pbxes[name]
+
+    def terminal(self, pbx_name: str | None = None, login: str = "craft") -> OssiTerminal:
+        """An OSSI craft terminal on one of the switches (the DDU path)."""
+        return OssiTerminal(self.pbx(pbx_name), login=login)
+
+    def find_person(self, filter_text: str) -> list[Entry]:
+        return self.connection().search(self.suffix, filter=filter_text)
+
+    def consistent(self) -> bool:
+        """Global consistency check: every device record matches the
+        directory's materialized view, and vice versa (E1's oracle)."""
+        return not self.inconsistencies()
+
+    def inconsistencies(self) -> list[str]:
+        """Human-readable list of device↔directory disagreements."""
+        problems: list[str] = []
+        for binding in self.um.bindings:
+            key_attr = binding.to_ldap.key_target
+            device_keys = set()
+            for record in binding.filter.dump():
+                image = binding.to_ldap.image(record) or {}
+                ldap_key = binding.to_ldap.key_of(image)
+                if ldap_key is None:
+                    continue
+                device_keys.add(ldap_key.lower())
+                entry = self.um.ldap_filter.locate(key_attr, ldap_key)
+                if entry is None:
+                    problems.append(
+                        f"{binding.name}: record {ldap_key} missing from directory"
+                    )
+                    continue
+                for name, values in image.items():
+                    if name.lower() == "lastupdater":
+                        continue  # bookkeeping, not user data
+                    have = entry.get(name)
+                    # The directory may carry extra values (e.g. an RDN
+                    # disambiguator on cn); the device's view must be a
+                    # subset of the directory's.
+                    if not set(values) <= set(have):
+                        problems.append(
+                            f"{binding.name}: {ldap_key}: {name} device={values} "
+                            f"directory={have}"
+                        )
+            for entry in self.um.ldap_filter.person_entries():
+                values = entry.get(key_attr) if key_attr else []
+                if not values:
+                    continue
+                if values[0].lower() not in device_keys:
+                    # Only a problem when the entry claims data this device
+                    # should hold (partition check).
+                    device_image = binding.from_ldap.image(
+                        entry.attributes.to_dict()
+                    )
+                    in_partition = binding.partition is None or (
+                        binding.partition.satisfied_by(device_image)
+                    )
+                    if in_partition and binding.from_ldap.partition.satisfied_by(
+                        device_image
+                    ):
+                        problems.append(
+                            f"{binding.name}: directory entry {entry.dn} claims "
+                            f"{key_attr}={values[0]} unknown to the device"
+                        )
+        return problems

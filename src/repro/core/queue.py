@@ -1,0 +1,61 @@
+"""The Update Manager's global update queue.
+
+Paper section 4.4: "the LDAP filter ... creates a lexpress update
+descriptor for the update that is then added to a global queue in the UM.
+The main thread of the UM, the coordinator, iterates through the global
+update queue" and "The queue maintained by the UM enforces a serialization
+order."
+
+The queue is a plain FIFO with a serial number per item — the serial *is*
+the system-wide serialization order that makes the reapplication technique
+converge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from ..lexpress.descriptor import UpdateDescriptor
+
+
+@dataclass(frozen=True)
+class QueuedUpdate:
+    """One queue item: a descriptor stamped with its serialization order."""
+
+    serial: int
+    descriptor: UpdateDescriptor
+
+
+class GlobalUpdateQueue:
+    """FIFO of update descriptors with a global serialization order."""
+
+    def __init__(self) -> None:
+        self._items: list[QueuedUpdate] = []
+        self._serials = itertools.count(1)
+        self._lock = threading.Lock()
+        self.statistics = {"enqueued": 0, "processed": 0}
+
+    def enqueue(self, descriptor: UpdateDescriptor) -> QueuedUpdate:
+        item = QueuedUpdate(next(self._serials), descriptor)
+        with self._lock:
+            self._items.append(item)
+            self.statistics["enqueued"] += 1
+        return item
+
+    def dequeue(self) -> QueuedUpdate | None:
+        with self._lock:
+            if not self._items:
+                return None
+            item = self._items.pop(0)
+            self.statistics["processed"] += 1
+            return item
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def peek_serial(self) -> int | None:
+        with self._lock:
+            return self._items[0].serial if self._items else None

@@ -1,0 +1,449 @@
+"""The Update Manager (UM) — the central component of MetaComm.
+
+Figure 1 / section 4.4: the UM "keeps the data in the LDAP directory
+synchronized with the data in the telecom devices.  It responds to update
+requests that originate from client applications such as the WBA, or from
+one of the devices, and it ensures that after an update is applied, the
+information in all devices and directories remains consistent."
+
+The flow implemented here is the paper's:
+
+* **LDAP-originated updates** (WBA, browsers): LTAP traps the request,
+  holds the entry lock, and fires the UM's AFTER trigger.  The trigger
+  builds a lexpress descriptor, appends it to the global queue, and the
+  coordinator drains the queue — computing the transitive closure of the
+  change, fanning translated updates out to every device filter, folding
+  device-generated information back, and finally applying supplemental
+  attributes to the LDAP server ("update the LDAP Server after all other
+  devices are updated", section 5.5) — all while the lock is held.
+
+* **Direct device updates (DDUs)**: the device filter hears the commit
+  notification, builds a descriptor, and the UM forwards it through the
+  LDAP filter to LTAP, where locks are obtained and the update re-enters
+  as an LDAP event whose *origin* is the device.  The fan-out then
+  *reapplies* the update to the originating device as conditional
+  operations — the write-write consistency technique of sections 4.4/5.4.
+
+* **Failures**: a device that rejects an update aborts the remaining
+  sequence; the error is logged into the directory and the administrator
+  notified (section 4.4).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from ..ldap.backend import ChangeType
+from ..ldap.dn import DN
+from ..ldap.protocol import Session
+from ..ldap.server import LdapServer
+from ..lexpress.closure import ClosureEngine
+from ..lexpress.descriptor import (
+    TargetAction,
+    TargetUpdate,
+    UpdateDescriptor,
+    UpdateOp,
+)
+from ..lexpress.mapping import CompiledMapping
+from ..lexpress.partition import PartitionConstraint
+from ..ltap.connection import ConnectionManager
+from ..ltap.gateway import LtapGateway
+from ..ltap.triggers import Trigger, TriggerEvent
+from .errorlog import ErrorLog
+from .filters.base import Filter, FilterError
+from .filters.device_filter import DeviceFilter
+from .filters.ldap_filter import LdapFilter
+from .queue import GlobalUpdateQueue, QueuedUpdate
+
+
+@dataclass
+class DeviceBinding:
+    """One integrated device: its filter, its schema pair, its partition."""
+
+    filter: DeviceFilter
+    to_ldap: CompiledMapping
+    from_ldap: CompiledMapping
+    partition: PartitionConstraint | None = None
+
+    @property
+    def name(self) -> str:
+        return self.filter.name
+
+
+class UpdateManager:
+    """Coordinator + global queue + filter fan-out."""
+
+    def __init__(
+        self,
+        server: LdapServer,
+        gateway: LtapGateway,
+        ldap_filter: LdapFilter,
+        bindings: Iterable[DeviceBinding],
+        error_log: ErrorLog,
+        abort_on_failure: bool = True,
+        undo_on_failure: bool = False,
+    ):
+        self.server = server
+        self.gateway = gateway
+        self.ldap_filter = ldap_filter
+        self.bindings = list(bindings)
+        self.error_log = error_log
+        self.abort_on_failure = abort_on_failure
+        #: Section 4.4 future work: compensate already-applied device
+        #: updates when a later one fails — the saga technique.
+        self.undo_on_failure = undo_on_failure
+        self.queue = GlobalUpdateQueue()
+        self.connections = ConnectionManager(self._handle_connection_event)
+        self._thread: threading.Thread | None = None
+        self.statistics = {
+            "ldap_events": 0,
+            "ddus": 0,
+            "fanned_out": 0,
+            "reapplied": 0,
+            "supplemental_writes": 0,
+            "aborted_sequences": 0,
+            "compensated": 0,
+        }
+
+        mappings: dict[str, CompiledMapping] = {}
+        for binding in self.bindings:
+            mappings.setdefault(binding.to_ldap.name, binding.to_ldap)
+            mappings.setdefault(binding.from_ldap.name, binding.from_ldap)
+        self.closure = ClosureEngine(mappings.values())
+
+        gateway.register_trigger(
+            Trigger(
+                action=self._on_ldap_event,
+                base=self.ldap_filter.people_base,
+                filter="(objectClass=person)",
+                name="metacomm-um",
+            )
+        )
+        for binding in self.bindings:
+            binding.filter.on_ddu(self._on_ddu)
+
+    # -- connection sink (persistent connections deliver sync batches) -----------
+
+    def _handle_connection_event(self, event, connection) -> None:
+        # Events arriving over explicit connections are already descriptors
+        # processed elsewhere; the manager only tracks them for statistics.
+        pass
+
+    # -- threaded coordinator (the paper's "main thread of the UM") -----------------
+
+    def start(self) -> None:
+        """Run the coordinator on its own thread.
+
+        Section 4.4: "The main thread of the UM, the coordinator, iterates
+        through the global update queue."  In threaded mode, LTAP's trigger
+        enqueues the descriptor and *blocks until the coordinator signals
+        completion* — so the entry lock is still held for the whole update
+        sequence, exactly as in the synchronous mode.  Entry locks are
+        owned by sessions (not threads), so the coordinator can re-enter
+        the waiting client's lock for supplemental writes."""
+        import queue as _queue
+
+        if self._thread is not None:
+            return
+        self._work: "_queue.Queue" = _queue.Queue()
+        self._stop = threading.Event()
+
+        def coordinator_loop():
+            while not self._stop.is_set():
+                try:
+                    job = self._work.get(timeout=0.05)
+                except _queue.Empty:
+                    continue
+                item, session, done, failure = job
+                try:
+                    self._process(item, session)
+                except Exception as exc:  # surfaced to the waiting trigger
+                    failure.append(exc)
+                finally:
+                    done.set()
+
+        self._thread = threading.Thread(
+            target=coordinator_loop, name="metacomm-coordinator", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    @property
+    def threaded(self) -> bool:
+        return self._thread is not None
+
+    # -- LDAP event intake ---------------------------------------------------------
+
+    def _on_ldap_event(self, event: TriggerEvent) -> None:
+        self.statistics["ldap_events"] += 1
+        descriptor = self._descriptor_from_event(event)
+        if descriptor is None:
+            return
+        item = self.queue.enqueue(descriptor)
+        if self._thread is not None:
+            done = threading.Event()
+            failure: list[Exception] = []
+            dequeued = self.queue.dequeue()
+            # FIFO discipline is preserved: enqueue/dequeue happen inside
+            # the entry lock, and the coordinator consumes jobs in order.
+            self._work.put((dequeued or item, event.session, done, failure))
+            if not done.wait(timeout=30):
+                raise RuntimeError("coordinator did not complete the sequence")
+            if failure:
+                raise failure[0]
+            return
+        self._drain(event.session)
+
+    def _descriptor_from_event(self, event: TriggerEvent) -> UpdateDescriptor | None:
+        origin = str(event.session.state.get("metacomm.origin", "ldap"))
+        before = event.before.attributes.to_dict() if event.before else None
+        after = event.after.attributes.to_dict() if event.after else None
+        if event.change_type is ChangeType.ADD:
+            op = UpdateOp.ADD
+        elif event.change_type is ChangeType.DELETE:
+            op = UpdateOp.DELETE
+        else:
+            op = UpdateOp.MODIFY
+            if before is None or after is None:
+                return None
+        key = str(event.after.dn if event.after is not None else event.dn)
+        explicit: set[str] = set()
+        if before is not None and after is not None:
+            names = {n.lower() for n in before} | {n.lower() for n in after}
+            for name in names:
+                if _get(before, name) != _get(after, name):
+                    explicit.add(name)
+        elif after is not None:
+            explicit = {n.lower() for n in after}
+        # Stamp the update's source so the Originator machinery (section
+        # 5.4) sees who really made this change, not a stale value.
+        if after is not None:
+            after = dict(after)
+            for name in list(after):
+                if name.lower() == "lastupdater":
+                    del after[name]
+            after["lastUpdater"] = [origin]
+        return UpdateDescriptor(
+            op=op,
+            source="ldap",
+            key=key,
+            old=before,
+            new=after,
+            explicit=frozenset(explicit),
+            origin=origin,
+        )
+
+    # -- DDU intake -------------------------------------------------------------------
+
+    def _on_ddu(self, source_filter: Filter, descriptor: UpdateDescriptor) -> None:
+        """Section 4.4's DDU sequence: device filter → LDAP filter → LTAP."""
+        self.statistics["ddus"] += 1
+        binding = self._binding_of(source_filter)
+        update = binding.to_ldap.translate(descriptor)
+        if update is None or update.action is TargetAction.SKIP:
+            return
+        try:
+            self.ldap_filter.forward_ddu(update, origin=binding.name)
+        except FilterError as exc:
+            self.statistics["aborted_sequences"] += 1
+            self.error_log.record(
+                target="ldap",
+                message=str(exc),
+                context=f"DDU from {binding.name} key={descriptor.key}",
+            )
+
+    def _binding_of(self, source_filter: Filter) -> DeviceBinding:
+        for binding in self.bindings:
+            if binding.filter is source_filter:
+                return binding
+        raise KeyError(f"no binding for filter {source_filter!r}")
+
+    # -- the coordinator --------------------------------------------------------------
+
+    def _drain(self, session: Session) -> None:
+        while True:
+            item = self.queue.dequeue()
+            if item is None:
+                return
+            self._process(item, session)
+
+    def _process(self, item: QueuedUpdate, session: Session) -> None:
+        descriptor = item.descriptor
+        if descriptor.op is UpdateOp.DELETE:
+            enriched = descriptor
+        else:
+            enriched = self._enrich(descriptor)
+
+        supplemental: dict[str, list[str]] = self._closure_supplement(
+            descriptor, enriched
+        )
+        aborted = False
+        applied: list[tuple[DeviceBinding, TargetUpdate, dict | None]] = []
+        for binding in self.bindings:
+            update = binding.from_ldap.translate(
+                enriched,
+                extra_partition=binding.partition,
+                target_name=binding.name,
+            )
+            if update is None or update.action is TargetAction.SKIP:
+                continue
+            before = (
+                binding.filter.fetch(update.old_key or update.key)
+                if (update.old_key or update.key) is not None
+                else None
+            )
+            try:
+                result = binding.filter.apply(update)
+            except FilterError as exc:
+                self.statistics["aborted_sequences"] += 1
+                self.error_log.record(
+                    target=binding.name,
+                    message=exc.message,
+                    context=f"update serial={item.serial} key={update.key}",
+                )
+                if self.undo_on_failure:
+                    self._compensate(applied)
+                if self.abort_on_failure:
+                    aborted = True
+                    break
+                continue
+            applied.append((binding, update, before))
+            self.statistics["fanned_out"] += 1
+            if update.conditional:
+                self.statistics["reapplied"] += 1
+            if update.key is not None and (
+                update.action is TargetAction.ADD or result.recovered
+            ):
+                # A record was (re)created at the device: echo its full
+                # view — defaults, truncations, generated ids — back to
+                # the directory so both sides agree (section 5.5).
+                supplemental.update(self._echo_supplement(binding, update.key))
+            elif result.generated and update.key is not None:
+                supplemental.update(
+                    self._generated_supplement(
+                        binding, update.key, result.generated
+                    )
+                )
+        if aborted:
+            return
+        # "update the LDAP Server after all other devices are updated".
+        if supplemental and descriptor.op is not UpdateOp.DELETE:
+            dn = DN.parse(descriptor.key) if descriptor.key else None
+            if dn is not None:
+                applied = self.ldap_filter.apply_supplemental(
+                    dn, supplemental, session
+                )
+                if applied:
+                    self.statistics["supplemental_writes"] += 1
+
+    def _compensate(
+        self,
+        applied: list[tuple[DeviceBinding, TargetUpdate, dict | None]],
+    ) -> None:
+        """Undo already-applied device updates in reverse order (sagas)."""
+        for binding, update, before in reversed(applied):
+            try:
+                binding.filter.compensate(update, before)
+                self.statistics["compensated"] += 1
+            except Exception as exc:  # compensation is best-effort
+                self.error_log.record(
+                    target=binding.name,
+                    message=f"compensation failed: {exc}",
+                    context=f"undo of {update.action.value} key={update.key}",
+                )
+
+    def _enrich(self, descriptor: UpdateDescriptor) -> UpdateDescriptor:
+        """Run the transitive closure; return a descriptor whose new image
+        includes all derived LDAP attributes."""
+        result = self.closure.propagate(
+            "ldap",
+            descriptor.new or {},
+            changed=descriptor.changed_attributes(),
+            explicit=descriptor.explicit,
+        )
+        merged = dict(descriptor.new or {})
+        have = {n.lower() for n in merged}
+        for name, values in result.image("ldap").items():
+            if name.lower() not in have:
+                merged[name] = values
+        return replace(descriptor, new=merged)
+
+    def _closure_supplement(
+        self, original: UpdateDescriptor, enriched: UpdateDescriptor
+    ) -> dict[str, list[str]]:
+        """The desired final LDAP image after closure.
+
+        The whole enriched image is handed to
+        :meth:`LdapFilter.apply_supplemental`, which diffs it against the
+        live entry and writes only what actually changed — that keeps the
+        supplemental pass idempotent and covers both closure-derived
+        attributes and the ``lastUpdater`` stamp."""
+        return dict(enriched.new or {})
+
+    def _echo_supplement(
+        self, binding: DeviceBinding, key: str
+    ) -> dict[str, list[str]]:
+        """The device's committed view of a freshly created record, mapped
+        back into LDAP attributes (excluding the Originator stamp, which
+        must reflect who really made the update)."""
+        record = binding.filter.fetch(key)
+        if record is None:
+            return {}
+        image = binding.to_ldap.image(record) or {}
+        return {
+            name: values
+            for name, values in image.items()
+            if name.lower() != "lastupdater"
+        }
+
+    def _generated_supplement(
+        self,
+        binding: DeviceBinding,
+        key: str,
+        generated: dict[str, list[str]],
+    ) -> dict[str, list[str]]:
+        """Fold device-generated information back toward LDAP (section 5.5).
+
+        Only attributes that *derive from* the generated fields are folded
+        back: the full committed record is mapped once with and once
+        without those fields, and the difference is the supplement."""
+        record = binding.filter.fetch(key)
+        if record is None:
+            return {}
+        without = {
+            name: values
+            for name, values in record.items()
+            if name.lower() not in {g.lower() for g in generated}
+        }
+        image_full = binding.to_ldap.image(record) or {}
+        image_without = binding.to_ldap.image(without) or {}
+        out: dict[str, list[str]] = {}
+        for name, values in image_full.items():
+            if image_without.get(name) != values:
+                out[name] = values
+        return out
+
+    # -- public status -------------------------------------------------------------------
+
+    def binding(self, name: str) -> DeviceBinding:
+        for binding in self.bindings:
+            if binding.name == name:
+                return binding
+        raise KeyError(f"no device binding named {name!r}")
+
+
+def _get(attrs: dict[str, list[str]] | None, name: str) -> list[str]:
+    if not attrs:
+        return []
+    for key, values in attrs.items():
+        if key.lower() == name:
+            return list(values)
+    return []

@@ -1,0 +1,42 @@
+"""Legacy telecom device simulators.
+
+The proprietary repositories MetaComm integrates: a Definity PBX (with an
+OSSI-style admin terminal) and a voice messaging platform.  Both exhibit
+the transactional weaknesses the paper's consistency machinery is built
+around: weak typing, single-record atomicity, commit-time notifications,
+and no update interception.
+"""
+
+from .base import (
+    Device,
+    DeviceError,
+    DeviceNotification,
+    DeviceUnavailableError,
+    DuplicateRecordError,
+    FieldSpec,
+    InvalidFieldError,
+    NoSuchRecordError,
+)
+from .messaging.platform import SUBSCRIBER_FIELDS, MessagingPlatform
+from .pbx.definity import DefinityPbx, partition_expression
+from .pbx.ossi import OssiTerminal, TerminalResponse
+from .pbx.station import STATION_FIELD_NAMES, STATION_FIELDS
+
+__all__ = [
+    "Device",
+    "DeviceError",
+    "DeviceNotification",
+    "DeviceUnavailableError",
+    "DefinityPbx",
+    "DuplicateRecordError",
+    "FieldSpec",
+    "InvalidFieldError",
+    "MessagingPlatform",
+    "NoSuchRecordError",
+    "OssiTerminal",
+    "STATION_FIELDS",
+    "STATION_FIELD_NAMES",
+    "SUBSCRIBER_FIELDS",
+    "TerminalResponse",
+    "partition_expression",
+]

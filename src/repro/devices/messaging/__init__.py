@@ -1,0 +1,5 @@
+"""Voice messaging platform simulator."""
+
+from .platform import SUBSCRIBER_FIELDS, MessagingPlatform
+
+__all__ = ["MessagingPlatform", "SUBSCRIBER_FIELDS"]

@@ -1,0 +1,74 @@
+"""The voice messaging platform simulator.
+
+Subscribers are keyed by telephone number.  On add, the platform assigns a
+unique mailbox id — the "device-generated information" of paper section
+5.5 that MetaComm must fold back into the directory after all other
+devices are updated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from ..base import Device, FieldSpec
+
+
+def _numeric(value: str) -> str | None:
+    return None if value.isdigit() else "must be numeric"
+
+
+def _pin(value: str) -> str | None:
+    if not value.isdigit() or not 4 <= len(value) <= 8:
+        return "PIN must be 4-8 digits"
+    return None
+
+
+SUBSCRIBER_FIELDS = (
+    FieldSpec("TelephoneNumber", max_length=20, required=True),
+    FieldSpec("SubscriberName", max_length=30),
+    FieldSpec("MailboxId", max_length=12, generated=True),
+    FieldSpec("COS", max_length=2, validator=_numeric),
+    FieldSpec("PIN", max_length=8, validator=_pin),
+    FieldSpec("Language", max_length=8),
+)
+
+
+class MessagingPlatform(Device):
+    """A voice-mail system with device-assigned mailbox identifiers."""
+
+    def __init__(self, name: str = "messaging", mailbox_prefix: str = "MB"):
+        super().__init__(
+            name, key_field="TelephoneNumber", fields=SUBSCRIBER_FIELDS
+        )
+        self.mailbox_prefix = mailbox_prefix
+        self._mailbox_seq = itertools.count(1)
+
+    def _generate_fields(self, record: dict[str, str]) -> None:
+        record["MailboxId"] = f"{self.mailbox_prefix}-{next(self._mailbox_seq):06d}"
+
+    # -- subscriber-flavoured convenience ----------------------------------------
+
+    def add_subscriber(
+        self, telephone_number: str, agent: str = "local", **fields: str
+    ) -> dict[str, str]:
+        """Provision a subscriber; the returned record carries the
+        generated MailboxId."""
+        record = {"TelephoneNumber": str(telephone_number)}
+        record.update(fields)
+        return self.add(record, agent=agent)
+
+    def change_subscriber(
+        self, telephone_number: str, agent: str = "local", **fields: str | None
+    ) -> dict[str, str]:
+        return self.modify(str(telephone_number), fields, agent=agent)
+
+    def remove_subscriber(
+        self, telephone_number: str, agent: str = "local"
+    ) -> dict[str, str]:
+        return self.delete(str(telephone_number), agent=agent)
+
+    def subscriber(self, telephone_number: str) -> dict[str, str]:
+        return self.get(str(telephone_number))
+
+    def mailbox_of(self, telephone_number: str) -> str:
+        record = self.get(str(telephone_number))
+        return record["MailboxId"]

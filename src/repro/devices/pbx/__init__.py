@@ -1,0 +1,14 @@
+"""Definity PBX simulator: switch, station schema, OSSI terminal."""
+
+from .definity import DefinityPbx, partition_expression
+from .ossi import OssiTerminal, TerminalResponse
+from .station import STATION_FIELD_NAMES, STATION_FIELDS
+
+__all__ = [
+    "DefinityPbx",
+    "OssiTerminal",
+    "STATION_FIELDS",
+    "STATION_FIELD_NAMES",
+    "TerminalResponse",
+    "partition_expression",
+]

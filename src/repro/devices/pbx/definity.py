@@ -1,0 +1,72 @@
+"""The Definity PBX simulator.
+
+A station switch: records are stations keyed by extension.  Each PBX
+manages one or more extension prefixes — the physical fact behind the
+partitioning constraints of paper section 4.2 ("a particular PBX accepts
+updates for phone numbers beginning with '+1 908-582-9'").  Stations whose
+extension falls outside the PBX's ranges are rejected, exactly as a real
+switch would refuse an extension not in its dial plan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..base import Device, InvalidFieldError
+from .station import STATION_FIELDS
+
+
+class DefinityPbx(Device):
+    """One Definity switch with a prefix-based dial plan."""
+
+    def __init__(
+        self,
+        name: str = "definity",
+        extension_prefixes: Iterable[str] = ("4",),
+    ):
+        super().__init__(name, key_field="Extension", fields=STATION_FIELDS)
+        self.extension_prefixes = tuple(str(p) for p in extension_prefixes)
+        if not self.extension_prefixes:
+            raise ValueError("a PBX needs at least one extension prefix")
+
+    # -- dial plan --------------------------------------------------------------
+
+    def manages_extension(self, extension: str) -> bool:
+        return str(extension).startswith(self.extension_prefixes)
+
+    def _validate_record(self, record: dict[str, str]) -> None:
+        extension = record.get("Extension", "")
+        if not self.manages_extension(extension):
+            raise InvalidFieldError(
+                f"{self.name}: extension {extension} is not in this switch's "
+                f"dial plan (prefixes {', '.join(self.extension_prefixes)})"
+            )
+
+    # -- station-flavoured convenience -----------------------------------------------
+
+    def add_station(
+        self, extension: str, agent: str = "local", **fields: str
+    ) -> dict[str, str]:
+        record = {"Extension": str(extension)}
+        record.update(fields)
+        return self.add(record, agent=agent)
+
+    def change_station(
+        self, extension: str, agent: str = "local", **fields: str | None
+    ) -> dict[str, str]:
+        return self.modify(str(extension), fields, agent=agent)
+
+    def remove_station(self, extension: str, agent: str = "local") -> dict[str, str]:
+        return self.delete(str(extension), agent=agent)
+
+    def station(self, extension: str) -> dict[str, str]:
+        return self.get(str(extension))
+
+    def list_stations(self) -> list[dict[str, str]]:
+        return self.dump()
+
+
+def partition_expression(pbx: DefinityPbx, attribute: str = "Extension") -> str:
+    """The lexpress partition predicate matching this PBX's dial plan."""
+    clauses = [f'prefix({attribute}, "{p}")' for p in pbx.extension_prefixes]
+    return " or ".join(clauses)

@@ -1,0 +1,45 @@
+"""Station record definition for the Definity PBX simulator.
+
+Field inventory modelled on the station form of a Definity G3 admin
+terminal (the subset MetaComm integrates: identity, location and class of
+service/restriction data)."""
+
+from __future__ import annotations
+
+from ..base import FieldSpec
+
+
+def _numeric(value: str) -> str | None:
+    return None if value.isdigit() else "must be numeric"
+
+
+def _extension(value: str) -> str | None:
+    if not value.isdigit():
+        return "extension must be numeric"
+    if not 3 <= len(value) <= 5:
+        return "extension must be 3-5 digits"
+    return None
+
+
+def _port(value: str) -> str | None:
+    # Cabinet-carrier-slot-circuit, e.g. 01A0304.
+    if len(value) != 7:
+        return "port must look like 01A0304"
+    if not (value[:2].isdigit() and value[2].isalpha() and value[3:].isdigit()):
+        return "port must look like 01A0304"
+    return None
+
+
+STATION_FIELDS = (
+    FieldSpec("Extension", max_length=5, required=True, validator=_extension),
+    FieldSpec("Name", max_length=27),  # the real form truncates at 27 chars
+    FieldSpec("Room", max_length=10),
+    FieldSpec("Building", max_length=10),
+    FieldSpec("Port", max_length=7, validator=_port),
+    FieldSpec("COR", max_length=2, validator=_numeric),
+    FieldSpec("COS", max_length=2, validator=_numeric),
+    FieldSpec("Type", max_length=10),
+    FieldSpec("CoveragePath", max_length=3),
+)
+
+STATION_FIELD_NAMES = tuple(f.name for f in STATION_FIELDS)

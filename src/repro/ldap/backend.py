@@ -1,0 +1,595 @@
+"""The directory information tree (DIT) store.
+
+A thread-safe, in-memory tree of entries keyed by normalized DN.  Every
+update operation is atomic with respect to concurrent callers — and *only*
+single-entry operations exist, which is precisely the transactional
+weakness MetaComm's Update Manager has to design around (paper sections 2
+and 5.1).
+
+The backend keeps a changelog of committed updates, each stamped with a
+change sequence number (CSN).  The changelog feeds both replication
+agreements and post-commit listeners.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from .dn import DN, Rdn
+from .entry import Attributes, Entry
+from .filter import Filter, parse_filter
+from .protocol import ModOp, Modification, Scope
+from .result import (
+    EntryAlreadyExistsError,
+    LdapError,
+    NoSuchObjectError,
+    NotAllowedOnNonLeafError,
+    ResultCode,
+)
+from .schema import Schema
+
+
+class ChangeType(enum.Enum):
+    ADD = "add"
+    DELETE = "delete"
+    MODIFY = "modify"
+    MODIFY_RDN = "modifyrdn"
+
+
+@dataclass(frozen=True)
+class Csn:
+    """Change sequence number: totally ordered within a server, and across
+    servers by (sequence, server_id) — the scheme directory replication
+    uses to achieve its relaxed write-write convergence."""
+
+    seq: int
+    server_id: str
+
+    def __lt__(self, other: "Csn") -> bool:
+        return (self.seq, self.server_id) < (other.seq, other.server_id)
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One committed update, with before/after images for listeners."""
+
+    csn: Csn
+    change_type: ChangeType
+    dn: DN
+    before: Entry | None = None
+    after: Entry | None = None
+    modifications: tuple[Modification, ...] = ()
+    new_rdn: Rdn | None = None
+    #: CSN of the originating write when this record was produced by
+    #: applying a replicated change; equals :attr:`csn` for local writes.
+    origin: Csn | None = None
+
+    @property
+    def origin_csn(self) -> Csn:
+        return self.origin or self.csn
+
+
+ChangeListener = Callable[[ChangeRecord], None]
+
+
+class Transaction:
+    """A multi-entry atomic batch at a single server.
+
+    The paper's section 5.3 proposes exactly this compromise: "transactions
+    that allow several entries at a single site to be modified atomically
+    would be a good compromise — solving our atomicity problems while
+    retaining scalability although at the cost of asymmetry."  This
+    extension implements it: operations buffered on the transaction apply
+    all-or-nothing under the backend lock; listeners and the changelog see
+    either every record or none.
+
+    Use as a context manager::
+
+        with backend.transaction() as txn:
+            txn.modify(parent_dn, [...])
+            txn.modify(child_dn, [...])
+        # both applied, or neither
+    """
+
+    def __init__(self, backend: "Backend"):
+        self.backend = backend
+        self._ops: list[tuple[str, tuple]] = []
+        self.committed = False
+
+    # -- buffered operations ----------------------------------------------
+
+    def add(self, entry: Entry) -> None:
+        self._ops.append(("add", (entry.copy(),)))
+
+    def delete(self, dn: DN) -> None:
+        self._ops.append(("delete", (dn,)))
+
+    def modify(self, dn: DN, modifications: Iterable[Modification]) -> None:
+        self._ops.append(("modify", (dn, tuple(modifications))))
+
+    def modify_rdn(self, dn: DN, new_rdn: Rdn, delete_old_rdn: bool = True) -> None:
+        self._ops.append(("modify_rdn", (dn, new_rdn, delete_old_rdn)))
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def commit(self) -> list[ChangeRecord]:
+        if self.committed:
+            raise RuntimeError("transaction already committed")
+        records = self.backend._apply_transaction(self._ops)
+        self.committed = True
+        return records
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self.committed:
+            self.commit()
+
+
+class Backend:
+    """In-memory DIT with atomic single-entry operations and a changelog."""
+
+    def __init__(
+        self,
+        suffixes: Iterable[DN | str],
+        schema: Schema | None = None,
+        server_id: str = "srv1",
+    ):
+        self.suffixes = [DN.parse(s) if isinstance(s, str) else s for s in suffixes]
+        if not self.suffixes:
+            raise ValueError("a backend needs at least one suffix")
+        self.schema = schema
+        self.server_id = server_id
+        self._entries: dict[tuple, Entry] = {}
+        self._children: dict[tuple, set[tuple]] = {}
+        self._lock = threading.RLock()
+        self._seq = 0
+        self.changelog: list[ChangeRecord] = []
+        self._listeners: list[ChangeListener] = []
+        self._txn_buffer: list[ChangeRecord] | None = None
+        # Equality indexes: attr (lower) -> normalized value -> set of DN keys.
+        self._indexes: dict[str, dict[str, set[tuple]]] = {}
+
+    # -- listeners --------------------------------------------------------
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ChangeListener) -> None:
+        self._listeners.remove(listener)
+
+    def _commit(self, record: ChangeRecord) -> None:
+        if self._txn_buffer is not None:
+            self._txn_buffer.append(record)
+            return
+        self.changelog.append(record)
+        for listener in list(self._listeners):
+            listener(record)
+
+    # -- site transactions (section 5.3 extension) ------------------------------
+
+    def transaction(self) -> Transaction:
+        """Open a multi-entry atomic batch (see :class:`Transaction`)."""
+        return Transaction(self)
+
+    def _apply_transaction(self, ops: list[tuple[str, tuple]]) -> list[ChangeRecord]:
+        with self._lock:
+            snapshot_entries = dict(self._entries)
+            snapshot_children = {k: set(v) for k, v in self._children.items()}
+            snapshot_indexes = {
+                a: {v: set(keys) for v, keys in t.items()}
+                for a, t in self._indexes.items()
+            }
+            snapshot_seq = self._seq
+            self._txn_buffer: list[ChangeRecord] | None = []
+            try:
+                for op, args in ops:
+                    getattr(self, op)(*args)
+            except Exception:
+                self._entries = snapshot_entries
+                self._children = snapshot_children
+                self._indexes = snapshot_indexes
+                self._seq = snapshot_seq
+                raise
+            finally:
+                records, self._txn_buffer = self._txn_buffer or [], None
+            for record in records:
+                self.changelog.append(record)
+                for listener in list(self._listeners):
+                    listener(record)
+            return records
+
+    def _next_csn(self) -> Csn:
+        self._seq += 1
+        return Csn(self._seq, self.server_id)
+
+    # -- attribute indexes ----------------------------------------------------
+
+    def create_index(self, attribute: str) -> None:
+        """Maintain an equality index on *attribute*.
+
+        Equality searches (including inside AND filters) then resolve via
+        the index instead of scanning the tree — the entry-location hot
+        path of the Update Manager."""
+        from .entry import _norm_value
+
+        key = attribute.lower()
+        with self._lock:
+            if key in self._indexes:
+                return
+            table: dict[str, set[tuple]] = {}
+            for dn_key, entry in self._entries.items():
+                for value in entry.get(attribute):
+                    table.setdefault(_norm_value(value), set()).add(dn_key)
+            self._indexes[key] = table
+
+    def indexed_attributes(self) -> list[str]:
+        with self._lock:
+            return sorted(self._indexes)
+
+    def _index_entry(self, dn_key: tuple, entry: Entry, remove: bool = False) -> None:
+        from .entry import _norm_value
+
+        for attribute, table in self._indexes.items():
+            for value in entry.attributes.get(attribute):
+                normalized = _norm_value(value)
+                if remove:
+                    bucket = table.get(normalized)
+                    if bucket is not None:
+                        bucket.discard(dn_key)
+                        if not bucket:
+                            del table[normalized]
+                else:
+                    table.setdefault(normalized, set()).add(dn_key)
+
+    def _store(self, entry: Entry) -> None:
+        """Insert or replace an entry, keeping indexes current."""
+        dn_key = entry.dn.normalized()
+        old = self._entries.get(dn_key)
+        if old is not None and self._indexes:
+            self._index_entry(dn_key, old, remove=True)
+        self._entries[dn_key] = entry
+        if self._indexes:
+            self._index_entry(dn_key, entry)
+
+    def _unstore(self, dn_key: tuple) -> Entry | None:
+        old = self._entries.pop(dn_key, None)
+        if old is not None and self._indexes:
+            self._index_entry(dn_key, old, remove=True)
+        return old
+
+    def _index_candidates(self, compiled: Filter) -> set[tuple] | None:
+        """DN keys matching an indexed Equality inside *compiled*, or None
+        when the filter cannot use an index."""
+        from .entry import _norm_value
+        from .filter import And, Equality
+
+        probes: list[Equality] = []
+        if isinstance(compiled, Equality):
+            probes = [compiled]
+        elif isinstance(compiled, And):
+            probes = [p for p in compiled.parts if isinstance(p, Equality)]
+        best: set[tuple] | None = None
+        for probe in probes:
+            table = self._indexes.get(probe.attribute.lower())
+            if table is None:
+                continue
+            bucket = table.get(_norm_value(probe.value), set())
+            # Most selective indexed probe wins (an objectClass=person
+            # bucket may hold the whole directory; a key attribute holds
+            # one entry).
+            if best is None or len(bucket) < len(best):
+                best = set(bucket)
+        return best
+
+    # -- structure helpers --------------------------------------------------
+
+    def _is_suffix(self, dn: DN) -> bool:
+        return any(dn == suffix for suffix in self.suffixes)
+
+    def _within_namespace(self, dn: DN) -> bool:
+        return any(dn.is_under(suffix) for suffix in self.suffixes)
+
+    def _require(self, dn: DN) -> Entry:
+        entry = self._entries.get(dn.normalized())
+        if entry is None:
+            matched = self._deepest_match(dn)
+            raise NoSuchObjectError(f"no such entry: {dn}", matched_dn=str(matched))
+        return entry
+
+    def _deepest_match(self, dn: DN) -> DN:
+        current = dn
+        while not current.is_root():
+            current = current.parent()
+            if current.normalized() in self._entries:
+                return current
+        return DN.root()
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def contains(self, dn: DN) -> bool:
+        with self._lock:
+            return dn.normalized() in self._entries
+
+    def get(self, dn: DN) -> Entry:
+        """Return a copy of the entry at *dn* (raises when absent)."""
+        with self._lock:
+            return self._require(dn).copy()
+
+    # -- update operations ---------------------------------------------------
+
+    def add(self, entry: Entry, origin: Csn | None = None) -> ChangeRecord:
+        entry = entry.copy()
+        if not entry.rdn_consistent():
+            # Real servers insert missing RDN attributes; we do the same.
+            for attr, value in entry.dn.rdn.items():
+                if not entry.attributes.has_value(attr, value):
+                    values = entry.attributes.get(attr)
+                    values.append(value)
+                    entry.attributes.put(attr, values)
+        if self.schema is not None:
+            self.schema.check_entry(entry)
+        with self._lock:
+            key = entry.dn.normalized()
+            if key in self._entries:
+                raise EntryAlreadyExistsError(f"entry exists: {entry.dn}")
+            if not self._within_namespace(entry.dn):
+                raise LdapError(
+                    ResultCode.UNWILLING_TO_PERFORM,
+                    f"{entry.dn} is outside the server's suffixes",
+                )
+            if not self._is_suffix(entry.dn):
+                parent_key = entry.dn.parent().normalized()
+                if parent_key not in self._entries:
+                    raise NoSuchObjectError(
+                        f"parent of {entry.dn} does not exist",
+                        matched_dn=str(self._deepest_match(entry.dn)),
+                    )
+                self._children.setdefault(parent_key, set()).add(key)
+            self._store(entry)
+            record = ChangeRecord(
+                self._next_csn(), ChangeType.ADD, entry.dn, None, entry.copy(),
+                origin=origin,
+            )
+            self._commit(record)
+            return record
+
+    def delete(self, dn: DN, origin: Csn | None = None) -> ChangeRecord:
+        with self._lock:
+            entry = self._require(dn)
+            key = dn.normalized()
+            if self._children.get(key):
+                raise NotAllowedOnNonLeafError(f"{dn} has children")
+            self._unstore(key)
+            self._children.pop(key, None)
+            if not self._is_suffix(dn):
+                parent_key = dn.parent().normalized()
+                siblings = self._children.get(parent_key)
+                if siblings is not None:
+                    siblings.discard(key)
+                    if not siblings:
+                        del self._children[parent_key]
+            record = ChangeRecord(
+                self._next_csn(), ChangeType.DELETE, dn, entry.copy(), None,
+                origin=origin,
+            )
+            self._commit(record)
+            return record
+
+    def modify(
+        self,
+        dn: DN,
+        modifications: Iterable[Modification],
+        origin: Csn | None = None,
+    ) -> ChangeRecord:
+        modifications = tuple(modifications)
+        with self._lock:
+            entry = self._require(dn)
+            updated = entry.copy()
+            self._apply_modifications(updated, modifications)
+            if self.schema is not None:
+                self.schema.check_entry(updated)
+            if not updated.rdn_consistent():
+                raise LdapError(
+                    ResultCode.NOT_ALLOWED_ON_RDN,
+                    f"modification would remove an RDN value of {dn}",
+                )
+            self._store(updated)
+            record = ChangeRecord(
+                self._next_csn(),
+                ChangeType.MODIFY,
+                dn,
+                entry.copy(),
+                updated.copy(),
+                modifications,
+                origin=origin,
+            )
+            self._commit(record)
+            return record
+
+    @staticmethod
+    def _apply_modifications(
+        entry: Entry, modifications: Iterable[Modification]
+    ) -> None:
+        for mod in modifications:
+            if mod.op is ModOp.ADD:
+                entry.attributes.add_values(mod.attribute, list(mod.values))
+            elif mod.op is ModOp.DELETE:
+                entry.attributes.delete_values(
+                    mod.attribute, list(mod.values) if mod.values else None
+                )
+            elif mod.op is ModOp.REPLACE:
+                entry.attributes.put(mod.attribute, list(mod.values))
+            else:  # pragma: no cover - enum is closed
+                raise LdapError(ResultCode.PROTOCOL_ERROR, f"bad mod op {mod.op}")
+
+    def modify_rdn(
+        self,
+        dn: DN,
+        new_rdn: Rdn,
+        delete_old_rdn: bool = True,
+        origin: Csn | None = None,
+    ) -> ChangeRecord:
+        """Rename an entry in place (LDAP ModifyRDN).
+
+        Descendants are re-keyed under the new DN, as real servers do for a
+        rename without a newSuperior.
+        """
+        with self._lock:
+            entry = self._require(dn)
+            if self._is_suffix(dn):
+                raise LdapError(
+                    ResultCode.UNWILLING_TO_PERFORM, "cannot rename a suffix entry"
+                )
+            new_dn = dn.parent().child(new_rdn)
+            new_key = new_dn.normalized()
+            old_key = dn.normalized()
+            if new_key != old_key and new_key in self._entries:
+                raise EntryAlreadyExistsError(f"entry exists: {new_dn}")
+
+            updated = entry.copy()
+            if delete_old_rdn:
+                for attr, value in dn.rdn.items():
+                    if any(
+                        a.lower() == attr.lower() and v == value
+                        for a, v in new_rdn.items()
+                    ):
+                        continue
+                    try:
+                        updated.attributes.delete_values(attr, [value])
+                    except LdapError:
+                        pass
+            for attr, value in new_rdn.items():
+                if not updated.attributes.has_value(attr, value):
+                    values = updated.attributes.get(attr)
+                    values.append(value)
+                    updated.attributes.put(attr, values)
+            renamed = Entry(new_dn, updated.attributes)
+            if self.schema is not None:
+                self.schema.check_entry(renamed)
+
+            # Re-key the whole subtree below the renamed entry.
+            moves: list[tuple[tuple, tuple, Entry]] = []
+            for desc_key, desc in list(self._entries.items()):
+                if desc.dn.is_descendant_of(dn):
+                    depth = len(desc.dn.rdns) - len(dn.rdns)
+                    rebased = DN(desc.dn.rdns[:depth] + new_dn.rdns)
+                    moves.append((desc_key, rebased.normalized(), Entry(rebased, desc.attributes)))
+
+            parent_key = dn.parent().normalized()
+            self._unstore(old_key)
+            children = self._children.pop(old_key, set())
+            self._store(renamed)
+            siblings = self._children.setdefault(parent_key, set())
+            siblings.discard(old_key)
+            siblings.add(new_key)
+
+            remap = {old_key: new_key}
+            for desc_key, new_desc_key, moved in moves:
+                self._unstore(desc_key)
+                self._store(moved)
+                remap[desc_key] = new_desc_key
+                child_set = self._children.pop(desc_key, None)
+                if child_set is not None:
+                    self._children[new_desc_key] = child_set
+            # Rewrite child-set membership to the re-keyed names.
+            for key, child_set in list(self._children.items()):
+                rewritten = {remap.get(c, c) for c in child_set}
+                self._children[key] = rewritten
+            if children:
+                self._children[new_key] = {remap.get(c, c) for c in children}
+
+            record = ChangeRecord(
+                self._next_csn(),
+                ChangeType.MODIFY_RDN,
+                dn,
+                entry.copy(),
+                renamed.copy(),
+                (),
+                new_rdn,
+                origin=origin,
+            )
+            self._commit(record)
+            return record
+
+    # -- read operations ------------------------------------------------------
+
+    def search(
+        self,
+        base: DN,
+        scope: Scope = Scope.SUB,
+        filter: Filter | str = "(objectClass=*)",
+        attributes: Iterable[str] = (),
+        size_limit: int = 0,
+    ) -> list[Entry]:
+        compiled = parse_filter(filter)
+        selected = tuple(attributes)
+        with self._lock:
+            base_entry = self._require(base)
+            candidates: Iterator[Entry]
+            indexed = (
+                self._index_candidates(compiled) if self._indexes else None
+            )
+            if indexed is not None and scope is Scope.SUB:
+                candidates = (
+                    self._entries[k]
+                    for k in sorted(indexed)
+                    if k in self._entries and self._entries[k].dn.is_under(base)
+                )
+            elif scope is Scope.BASE:
+                candidates = iter([base_entry])
+            elif scope is Scope.ONE:
+                child_keys = self._children.get(base.normalized(), set())
+                candidates = (self._entries[k] for k in sorted(child_keys))
+            else:
+                candidates = (
+                    e
+                    for k, e in sorted(self._entries.items())
+                    if e.dn.is_under(base)
+                )
+            results: list[Entry] = []
+            for entry in candidates:
+                if not compiled.matches(entry):
+                    continue
+                results.append(self._project(entry, selected))
+                if size_limit and len(results) > size_limit:
+                    raise LdapError(
+                        ResultCode.SIZE_LIMIT_EXCEEDED,
+                        f"more than {size_limit} entries match",
+                    )
+            return results
+
+    @staticmethod
+    def _project(entry: Entry, attributes: tuple[str, ...]) -> Entry:
+        if not attributes or "*" in attributes:
+            return entry.copy()
+        wanted = {a.lower() for a in attributes}
+        projected = Attributes()
+        for name, values in entry.attributes.items():
+            if name.lower() in wanted:
+                projected.put(name, values)
+        return Entry(entry.dn, projected)
+
+    def compare(self, dn: DN, attribute: str, value: str) -> bool:
+        with self._lock:
+            entry = self._require(dn)
+            return entry.attributes.has_value(attribute, value)
+
+    def all_entries(self) -> list[Entry]:
+        with self._lock:
+            return [e.copy() for _, e in sorted(self._entries.items())]
+
+    def changes_since(self, csn: Csn | None) -> list[ChangeRecord]:
+        with self._lock:
+            if csn is None:
+                return list(self.changelog)
+            return [r for r in self.changelog if csn < r.csn]

@@ -1,0 +1,215 @@
+"""Directory entries and attribute collections.
+
+LDAP attributes are weakly typed: every value is a string, attribute names
+are case-insensitive, and an attribute holds a *set* of values (the paper's
+section 5.3 complains that LDAP sets only hold atomic values — we model
+exactly that).  :class:`Attributes` preserves the case of the first writer
+for round-tripping to LDIF while comparing case-insensitively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .dn import DN
+from .result import LdapError, ResultCode
+
+
+def _norm_value(value: str) -> str:
+    """caseIgnoreMatch normalization: fold case, squash internal space."""
+    return " ".join(value.lower().split())
+
+
+class Attributes:
+    """A case-insensitive mapping from attribute name to a list of values.
+
+    Values keep insertion order (deterministic LDIF output) but compare as
+    sets under caseIgnore matching, which is what real directory servers do
+    for directoryString syntax.
+    """
+
+    __slots__ = ("_data", "_names")
+
+    def __init__(self, initial: Mapping[str, Iterable[str] | str] | None = None):
+        self._data: dict[str, list[str]] = {}
+        self._names: dict[str, str] = {}  # lower-case -> original spelling
+        if initial:
+            for name, values in initial.items():
+                self.put(name, values)
+
+    # -- mutation ---------------------------------------------------------
+
+    def put(self, name: str, values: Iterable[str] | str) -> None:
+        """Replace all values of *name*."""
+        if isinstance(values, str):
+            values = [values]
+        values = [str(v) for v in values]
+        key = name.lower()
+        if not values:
+            self._data.pop(key, None)
+            self._names.pop(key, None)
+            return
+        self._data[key] = list(values)
+        self._names.setdefault(key, name)
+
+    def add_values(self, name: str, values: Iterable[str] | str) -> None:
+        """Add values, rejecting duplicates like a real server would."""
+        if isinstance(values, str):
+            values = [values]
+        key = name.lower()
+        current = self._data.setdefault(key, [])
+        self._names.setdefault(key, name)
+        existing = {_norm_value(v) for v in current}
+        for value in values:
+            value = str(value)
+            if _norm_value(value) in existing:
+                raise LdapError(
+                    ResultCode.ATTRIBUTE_OR_VALUE_EXISTS,
+                    f"attribute {name} already has value {value!r}",
+                )
+            current.append(value)
+            existing.add(_norm_value(value))
+        if not current:
+            del self._data[key]
+            self._names.pop(key, None)
+
+    def delete_values(self, name: str, values: Iterable[str] | str | None) -> None:
+        """Delete specific values, or the whole attribute when *values* is None."""
+        key = name.lower()
+        if key not in self._data:
+            raise LdapError(
+                ResultCode.UNDEFINED_ATTRIBUTE_TYPE, f"no such attribute: {name}"
+            )
+        if values is None:
+            del self._data[key]
+            self._names.pop(key, None)
+            return
+        if isinstance(values, str):
+            values = [values]
+        current = self._data[key]
+        for value in values:
+            target = _norm_value(str(value))
+            for i, have in enumerate(current):
+                if _norm_value(have) == target:
+                    del current[i]
+                    break
+            else:
+                raise LdapError(
+                    ResultCode.UNDEFINED_ATTRIBUTE_TYPE,
+                    f"attribute {name} has no value {value!r}",
+                )
+        if not current:
+            del self._data[key]
+            self._names.pop(key, None)
+
+    def remove(self, name: str) -> None:
+        self._data.pop(name.lower(), None)
+        self._names.pop(name.lower(), None)
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, name: str) -> list[str]:
+        return list(self._data.get(name.lower(), []))
+
+    def first(self, name: str, default: str | None = None) -> str | None:
+        values = self._data.get(name.lower())
+        return values[0] if values else default
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._data
+
+    def has_value(self, name: str, value: str) -> bool:
+        target = _norm_value(value)
+        return any(
+            _norm_value(v) == target for v in self._data.get(name.lower(), [])
+        )
+
+    def names(self) -> list[str]:
+        return [self._names[k] for k in self._data]
+
+    def items(self) -> Iterator[tuple[str, list[str]]]:
+        for key, values in self._data.items():
+            yield self._names[key], list(values)
+
+    def to_dict(self) -> dict[str, list[str]]:
+        return {self._names[k]: list(v) for k, v in self._data.items()}
+
+    def copy(self) -> "Attributes":
+        clone = Attributes()
+        clone._data = {k: list(v) for k, v in self._data.items()}
+        clone._names = dict(self._names)
+        return clone
+
+    def normalized(self) -> dict[str, frozenset[str]]:
+        """Comparison form: lower-case names to sets of normalized values."""
+        return {
+            key: frozenset(_norm_value(v) for v in values)
+            for key, values in self._data.items()
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return self.has(name)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Attributes) and self.normalized() == other.normalized()
+
+    def __repr__(self) -> str:
+        return f"Attributes({self.to_dict()!r})"
+
+
+class Entry:
+    """A directory entry: a DN plus its attributes.
+
+    Entries are value objects from the caller's point of view; the backend
+    stores copies so that callers can never mutate server state behind the
+    server's back.
+    """
+
+    __slots__ = ("dn", "attributes")
+
+    def __init__(self, dn: DN | str, attributes: Mapping | Attributes | None = None):
+        if isinstance(dn, str):
+            dn = DN.parse(dn)
+        self.dn = dn
+        if isinstance(attributes, Attributes):
+            self.attributes = attributes.copy()
+        else:
+            self.attributes = Attributes(attributes or {})
+
+    @property
+    def object_classes(self) -> list[str]:
+        return self.attributes.get("objectClass")
+
+    def get(self, name: str) -> list[str]:
+        return self.attributes.get(name)
+
+    def first(self, name: str, default: str | None = None) -> str | None:
+        return self.attributes.first(name, default)
+
+    def has(self, name: str) -> bool:
+        return self.attributes.has(name)
+
+    def copy(self) -> "Entry":
+        return Entry(self.dn, self.attributes.copy())
+
+    def rdn_consistent(self) -> bool:
+        """True when every AVA of the RDN appears among the attributes."""
+        if self.dn.is_root():
+            return True
+        return all(
+            self.attributes.has_value(attr, value)
+            for attr, value in self.dn.rdn.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Entry)
+            and self.dn == other.dn
+            and self.attributes == other.attributes
+        )
+
+    def __repr__(self) -> str:
+        return f"Entry({str(self.dn)!r}, {self.attributes.to_dict()!r})"

@@ -1,0 +1,272 @@
+"""A network transport for the LDAP service.
+
+Real LDAP speaks BER over TCP; BER encoding is orthogonal to every claim
+in the paper, so this transport keeps the wire simple — one JSON object
+per line — while providing the property that matters: a *process
+boundary* between clients and the server (or the LTAP gateway, which is
+what "any LDAP tool can contact LTAP" looks like when the tool is on
+another machine).
+
+Server side::
+
+    with LdapTcpServer(gateway) as listener:     # or LdapTcpServer(server)
+        print(listener.address)                  # (host, port)
+        ...
+
+Client side::
+
+    remote = RemoteLdapHandler(*listener.address)
+    conn = LdapConnection(remote)                # the usual client API
+    conn.add("cn=X,o=Lucent", {...})
+
+Sessions are tracked server-side by a per-connection id, so binds and
+LTAP session state behave exactly as in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any
+
+from .dn import DN, Rdn
+from .entry import Entry
+from .protocol import (
+    AddRequest,
+    BindRequest,
+    CompareRequest,
+    DeleteRequest,
+    LdapHandler,
+    LdapRequest,
+    LdapResponse,
+    LdapResult,
+    ModOp,
+    Modification,
+    ModifyRdnRequest,
+    ModifyRequest,
+    Scope,
+    SearchRequest,
+    Session,
+    UnbindRequest,
+)
+from .result import LdapError, ResultCode
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+
+
+def encode_request(request: LdapRequest) -> dict[str, Any]:
+    if isinstance(request, BindRequest):
+        return {"op": "bind", "dn": str(request.dn), "password": request.password}
+    if isinstance(request, UnbindRequest):
+        return {"op": "unbind"}
+    if isinstance(request, AddRequest):
+        return {
+            "op": "add",
+            "dn": str(request.entry.dn),
+            "attributes": request.entry.attributes.to_dict(),
+        }
+    if isinstance(request, DeleteRequest):
+        return {"op": "delete", "dn": str(request.dn)}
+    if isinstance(request, ModifyRequest):
+        return {
+            "op": "modify",
+            "dn": str(request.dn),
+            "modifications": [
+                [m.op.value, m.attribute, list(m.values)]
+                for m in request.modifications
+            ],
+        }
+    if isinstance(request, ModifyRdnRequest):
+        return {
+            "op": "modrdn",
+            "dn": str(request.dn),
+            "new_rdn": str(request.new_rdn),
+            "delete_old_rdn": request.delete_old_rdn,
+        }
+    if isinstance(request, SearchRequest):
+        return {
+            "op": "search",
+            "base": str(request.base),
+            "scope": request.scope.value,
+            "filter": str(request.filter),
+            "attributes": list(request.attributes),
+            "size_limit": request.size_limit,
+        }
+    if isinstance(request, CompareRequest):
+        return {
+            "op": "compare",
+            "dn": str(request.dn),
+            "attribute": request.attribute,
+            "value": request.value,
+        }
+    raise LdapError(
+        ResultCode.PROTOCOL_ERROR, f"cannot encode {type(request).__name__}"
+    )
+
+
+def decode_request(payload: dict[str, Any]) -> LdapRequest:
+    op = payload.get("op")
+    if op == "bind":
+        return BindRequest(DN.parse(payload["dn"]), payload["password"])
+    if op == "unbind":
+        return UnbindRequest()
+    if op == "add":
+        return AddRequest(Entry(payload["dn"], payload["attributes"]))
+    if op == "delete":
+        return DeleteRequest(DN.parse(payload["dn"]))
+    if op == "modify":
+        mods = tuple(
+            Modification(ModOp(o), attribute, tuple(values))
+            for o, attribute, values in payload["modifications"]
+        )
+        return ModifyRequest(DN.parse(payload["dn"]), mods)
+    if op == "modrdn":
+        return ModifyRdnRequest(
+            DN.parse(payload["dn"]),
+            Rdn.parse(payload["new_rdn"]),
+            payload.get("delete_old_rdn", True),
+        )
+    if op == "search":
+        return SearchRequest(
+            DN.parse(payload["base"]),
+            Scope(payload.get("scope", "sub")),
+            payload.get("filter", "(objectClass=*)"),
+            tuple(payload.get("attributes", ())),
+            payload.get("size_limit", 0),
+        )
+    if op == "compare":
+        return CompareRequest(
+            DN.parse(payload["dn"]), payload["attribute"], payload["value"]
+        )
+    raise LdapError(ResultCode.PROTOCOL_ERROR, f"unknown wire op {op!r}")
+
+
+def encode_response(response: LdapResponse) -> dict[str, Any]:
+    return {
+        "code": int(response.result.code),
+        "matched_dn": response.result.matched_dn,
+        "message": response.result.message,
+        "entries": [
+            {"dn": str(e.dn), "attributes": e.attributes.to_dict()}
+            for e in response.entries
+        ],
+    }
+
+
+def decode_response(payload: dict[str, Any]) -> LdapResponse:
+    result = LdapResult(
+        ResultCode(payload["code"]),
+        payload.get("matched_dn", ""),
+        payload.get("message", ""),
+    )
+    entries = [
+        Entry(item["dn"], item["attributes"])
+        for item in payload.get("entries", ())
+    ]
+    return LdapResponse(result, entries)
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        session = Session()  # one LDAP session per TCP connection
+        handler: LdapHandler = self.server.ldap_handler  # type: ignore[attr-defined]
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            try:
+                payload = json.loads(line)
+                request = decode_request(payload)
+                response = handler.process(request, session)
+            except LdapError as exc:
+                response = LdapResponse(
+                    LdapResult(exc.code, exc.matched_dn, exc.message)
+                )
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                response = LdapResponse(
+                    LdapResult(ResultCode.PROTOCOL_ERROR, "", str(exc))
+                )
+            out = json.dumps(encode_response(response)) + "\n"
+            try:
+                self.wfile.write(out.encode("utf-8"))
+                self.wfile.flush()
+            except OSError:
+                return
+
+
+class LdapTcpServer:
+    """Serves any :class:`LdapHandler` over newline-delimited JSON/TCP."""
+
+    def __init__(self, handler: LdapHandler, host: str = "127.0.0.1", port: int = 0):
+        self._server = socketserver.ThreadingTCPServer(
+            (host, port), _ConnectionHandler, bind_and_activate=True
+        )
+        self._server.daemon_threads = True
+        self._server.ldap_handler = handler  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="ldap-tcp", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "LdapTcpServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+
+
+class RemoteLdapHandler:
+    """Client-side stub: implements the handler interface over a socket,
+    so :class:`~repro.ldap.client.LdapConnection` works unchanged."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+
+    def process(self, request: LdapRequest, session: Session | None = None) -> LdapResponse:
+        # The server tracks the session per TCP connection; the local
+        # session object is unused except by client-side bookkeeping.
+        payload = json.dumps(encode_request(request)) + "\n"
+        with self._lock:
+            self._file.write(payload.encode("utf-8"))
+            self._file.flush()
+            line = self._file.readline()
+        if not line:
+            raise LdapError(ResultCode.UNAVAILABLE, "server closed the connection")
+        return decode_response(json.loads(line))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "RemoteLdapHandler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,123 @@
+"""Abstract syntax tree for the lexpress mapping language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: str | bool | None
+
+
+@dataclass(frozen=True)
+class AttrRef(Expr):
+    """Reference to a source attribute (first value, or None when absent)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class GroupRef(Expr):
+    """``$n`` — capture group of the nearest enclosing match arm."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ValueRef(Expr):
+    """``value`` — the element variable of the nearest enclosing ``each``."""
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    function: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    op: str  # "==" or "!="
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    op: str  # "and" or "or"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class NotOp(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class MatchArm:
+    """One ``pattern => expr`` arm.  ``pattern`` is a regex source string;
+    None marks the wildcard arm (``_``)."""
+
+    pattern: str | None
+    body: Expr
+    literal: bool = False  # pattern came from a string (exact match)
+
+
+@dataclass(frozen=True)
+class Match(Expr):
+    subject: Expr
+    arms: tuple[MatchArm, ...]
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    key: str
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Table(Expr):
+    subject: Expr
+    entries: tuple[TableEntry, ...]
+    default: Expr | None
+
+
+@dataclass(frozen=True)
+class Each(Expr):
+    """``each Attr => expr`` — apply *expr* to every value of a
+    multi-valued source attribute, producing a multi-valued result."""
+
+    attribute: str
+    body: Expr
+
+
+@dataclass(frozen=True)
+class MapRule:
+    """``map target = expr;``"""
+
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class MappingDecl:
+    name: str
+    source: str
+    target: str
+    key_source: str | None
+    key_target: str | None
+    originator: str | None
+    rules: tuple[MapRule, ...]
+    partition: Expr | None
+
+
+@dataclass(frozen=True)
+class Description:
+    """A whole lexpress description file: one or more mapping declarations."""
+
+    mappings: tuple[MappingDecl, ...]

@@ -1,0 +1,89 @@
+"""Machine-independent byte code for lexpress.
+
+The paper (section 4.2): "The components of lexpress are a declarative
+language for specifying the relationship between two schemas, a compiler
+that generates machine-independent byte code from the declarative
+language, and an interpreter for executing the byte codes."
+
+The machine is a small stack VM.  Runtime values are ``None`` (null),
+``str``, ``bool`` or ``list[str]`` (multi-valued results).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Op(enum.Enum):
+    PUSH = "push"            # arg: const index
+    LOAD_ATTR = "load_attr"  # arg: const index of attribute name -> first value
+    LOAD_ALL = "load_all"    # arg: const index of attribute name -> list of values
+    LOAD_GROUP = "load_group"  # arg: capture-group number
+    LOAD_VALUE = "load_value"  # the `each` element variable
+    CALL = "call"            # arg: (const index of function name, argc)
+    MATCH_RE = "match_re"    # arg: const index of compiled regex; pops subject,
+    #                          pushes bool, stores groups on success
+    MATCH_LIT = "match_lit"  # arg: const index of literal; pops subject, pushes bool
+    EACH_APPLY = "each_apply"  # arg: const index of body CodeObject; pops list,
+    #                            pushes list of mapped values
+    DUP = "dup"
+    POP = "pop"
+    IS_NULL = "is_null"
+    EQ = "eq"
+    NEQ = "neq"
+    NOT = "not"
+    JUMP = "jump"                    # arg: absolute target
+    JUMP_IF_FALSE = "jump_if_false"  # pops condition
+    JUMP_IF_TRUE = "jump_if_true"    # pops condition
+    RETURN = "return"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    op: Op
+    arg: Any = None
+
+    def __str__(self) -> str:
+        return f"{self.op.name} {self.arg}" if self.arg is not None else self.op.name
+
+
+@dataclass
+class CodeObject:
+    """A compiled expression: instructions plus a constant pool.
+
+    ``deps`` is the set of (lower-cased) source attribute names the
+    expression reads — the raw material for dependency propagation and
+    transitive-closure analysis.
+    """
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+    consts: list[Any] = field(default_factory=list)
+    deps: frozenset[str] = frozenset()
+
+    def const(self, value: Any) -> int:
+        """Intern *value* in the constant pool, returning its index."""
+        for i, existing in enumerate(self.consts):
+            if type(existing) is type(value) and existing == value:
+                return i
+        self.consts.append(value)
+        return len(self.consts) - 1
+
+    def emit(self, op: Op, arg: Any = None) -> int:
+        """Append an instruction; returns its index (for jump patching)."""
+        self.instructions.append(Instruction(op, arg))
+        return len(self.instructions) - 1
+
+    def patch(self, index: int, arg: Any) -> None:
+        self.instructions[index] = Instruction(self.instructions[index].op, arg)
+
+    def disassemble(self) -> str:
+        lines = [f"code {self.name!r} (deps: {', '.join(sorted(self.deps)) or '-'})"]
+        for i, ins in enumerate(self.instructions):
+            lines.append(f"  {i:4d}  {ins}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.instructions)

@@ -1,0 +1,311 @@
+"""Transitive closure of attribute mappings.
+
+Section 4.2: "Since setting one attribute may affect a set of related
+attributes, lexpress calculates the transitive closure of the attribute
+mappings. ... The transitive closure can also propagate changes to other
+devices in the meta-directory."  And the conflict rule: "the first mapping
+in the transitive closure to be satisfied sets all other unset attributes
+in the transitive closure.  The algorithm does not change the values of
+explicitly set attributes."
+
+The engine therefore freezes every attribute the first time it is set
+during a propagation (client-explicit attributes are frozen from the
+start) and pushes newly set attributes onto a worklist until it drains.
+
+Cycle handling — the enhancement the paper says was in progress — is
+implemented both ways:
+
+* **compile time**: :func:`analyze_cycles` builds the cross-schema
+  attribute dependency graph (networkx), finds cycles, and probes each
+  composed transformation for idempotence; :func:`check_cycles` raises
+  :class:`~repro.lexpress.errors.CyclicDependencyError` for cycles that
+  can never reach a fixpoint.
+* **execution time**: after a propagation, the engine re-evaluates every
+  rule against the final images; a rule that would overwrite a frozen
+  *non-explicit* attribute with a different value means this particular
+  update cannot reach a fixpoint, reported via
+  :class:`~repro.lexpress.errors.FixpointError` (strict mode) or the
+  result's ``conflicts`` list.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from .descriptor import normalize_attrs
+from .errors import CyclicDependencyError, FixpointError
+from .interpreter import execute
+from .mapping import CompiledMapping, CompiledRule, _as_values
+
+
+@dataclass
+class Conflict:
+    """A rule that disagrees with the frozen value of a target attribute."""
+
+    mapping: str
+    schema: str
+    attribute: str
+    frozen: list[str] | None
+    competing: list[str] | None
+    explicit: bool
+
+    def __str__(self) -> str:
+        kind = "explicit" if self.explicit else "UNSTABLE"
+        return (
+            f"[{kind}] {self.mapping}: {self.schema}.{self.attribute} "
+            f"frozen={self.frozen} competing={self.competing}"
+        )
+
+
+@dataclass
+class ClosureResult:
+    """Outcome of one propagation."""
+
+    #: schema (lower) -> full attribute image after propagation
+    images: dict[str, dict[str, list[str]]]
+    #: schema (lower) -> attribute names (lower) set during propagation
+    changed: dict[str, set[str]]
+    #: disagreements discovered by the post-pass (explicit ones are benign)
+    conflicts: list[Conflict] = field(default_factory=list)
+    #: worklist steps taken
+    iterations: int = 0
+
+    def image(self, schema: str) -> dict[str, list[str]]:
+        return self.images.get(schema.lower(), {})
+
+    def unstable_conflicts(self) -> list[Conflict]:
+        return [c for c in self.conflicts if not c.explicit]
+
+
+def _lookup(image: Mapping[str, list[str]], lower_name: str) -> list[str] | None:
+    for name, values in image.items():
+        if name.lower() == lower_name:
+            return values
+    return None
+
+
+class ClosureEngine:
+    """Propagates attribute changes across every registered mapping."""
+
+    def __init__(
+        self,
+        mappings: Iterable[CompiledMapping],
+        max_iterations: int = 1000,
+        strict: bool = False,
+    ):
+        self.mappings = list(mappings)
+        self.max_iterations = max_iterations
+        self.strict = strict
+        self._by_source: dict[str, list[CompiledMapping]] = {}
+        for mapping in self.mappings:
+            self._by_source.setdefault(mapping.source.lower(), []).append(mapping)
+
+    def propagate(
+        self,
+        schema: str,
+        attrs: Mapping[str, Sequence[str] | str],
+        changed: Iterable[str] | None = None,
+        explicit: Iterable[str] = (),
+        base_images: Mapping[str, Mapping[str, Sequence[str]]] | None = None,
+    ) -> ClosureResult:
+        """Propagate an update entering at *schema* to every schema.
+
+        ``attrs`` is the post-update record; ``changed`` names the
+        attributes the update touched (default: all of them); ``explicit``
+        names the attributes the client set directly; ``base_images``
+        seeds the current records of other schemas, letting rules read
+        unchanged context attributes.
+        """
+        schema = schema.lower()
+        images: dict[str, dict[str, list[str]]] = {}
+        if base_images:
+            for name, image in base_images.items():
+                images[name.lower()] = dict(normalize_attrs(dict(image)) or {})
+        start = dict(normalize_attrs(dict(attrs)) or {})
+        images.setdefault(schema, {}).update(start)
+
+        changed_set = (
+            frozenset(a.lower() for a in changed)
+            if changed is not None
+            else frozenset(a.lower() for a in start)
+        )
+        explicit_set = frozenset(a.lower() for a in explicit)
+
+        frozen: dict[str, set[str]] = {schema: set(changed_set) | set(explicit_set)}
+        touched: dict[str, set[str]] = {schema: set(changed_set)}
+        explicit_by_schema: dict[str, set[str]] = {schema: set(explicit_set)}
+
+        pending: deque[tuple[str, frozenset[str]]] = deque([(schema, changed_set)])
+        iterations = 0
+        while pending:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise FixpointError(
+                    f"closure did not drain after {self.max_iterations} steps"
+                )
+            source, dirty = pending.popleft()
+            source_image = images.get(source, {})
+            for mapping in self._by_source.get(source, []):
+                target = mapping.target.lower()
+                target_image = images.setdefault(target, {})
+                target_frozen = frozen.setdefault(target, set())
+                newly_dirty: set[str] = set()
+                for rule in mapping.rules_for(dirty):
+                    attr = rule.target.lower()
+                    if attr in target_frozen:
+                        continue  # first-win / explicit protection
+                    values = _as_values(execute(rule.code, source_image))
+                    if values is None:
+                        continue
+                    current = _lookup(target_image, attr)
+                    target_frozen.add(attr)
+                    if current == values:
+                        continue
+                    # Keep the spelling of the rule's target attribute.
+                    for name in list(target_image):
+                        if name.lower() == attr:
+                            del target_image[name]
+                    target_image[rule.target] = values
+                    touched.setdefault(target, set()).add(attr)
+                    newly_dirty.add(attr)
+                if newly_dirty:
+                    pending.append((target, frozenset(newly_dirty)))
+
+        result = ClosureResult(images, touched, iterations=iterations)
+        self._post_check(result, frozen, explicit_by_schema)
+        return result
+
+    def _post_check(
+        self,
+        result: ClosureResult,
+        frozen: dict[str, set[str]],
+        explicit_by_schema: dict[str, set[str]],
+    ) -> None:
+        """Re-evaluate all rules; report disagreements with frozen values."""
+        for mapping in self.mappings:
+            source = mapping.source.lower()
+            target = mapping.target.lower()
+            source_image = result.images.get(source)
+            if source_image is None:
+                continue
+            target_image = result.images.get(target, {})
+            target_frozen = frozen.get(target, set())
+            for rule in mapping.rules:
+                attr = rule.target.lower()
+                if attr not in target_frozen:
+                    continue
+                if not (rule.deps & {a.lower() for a in source_image}):
+                    continue
+                values = _as_values(execute(rule.code, source_image))
+                if values is None:
+                    continue
+                current = _lookup(target_image, attr)
+                if current != values:
+                    conflict = Conflict(
+                        mapping=mapping.name,
+                        schema=target,
+                        attribute=attr,
+                        frozen=current,
+                        competing=values,
+                        explicit=attr in explicit_by_schema.get(target, set()),
+                    )
+                    result.conflicts.append(conflict)
+        if self.strict and result.unstable_conflicts():
+            raise FixpointError(
+                "update cannot reach a fixpoint: "
+                + "; ".join(str(c) for c in result.unstable_conflicts())
+            )
+
+
+# -- compile-time cycle analysis -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """One dependency cycle in the cross-schema attribute graph."""
+
+    #: the cycle as (schema, attribute) nodes
+    nodes: tuple[tuple[str, str], ...]
+    #: True when probing shows the composed transformation is idempotent
+    stable: bool
+    #: probe value trace: start, after one lap, after two laps
+    trace: tuple[str | None, ...] = ()
+
+    def __str__(self) -> str:
+        path = " -> ".join(f"{s}.{a}" for s, a in self.nodes)
+        return f"{'stable' if self.stable else 'UNSTABLE'} cycle: {path}"
+
+
+_PROBE_VALUES = ("4100", "Doe, John", "+1 908 582 9100", "x")
+
+
+def dependency_graph(mappings: Iterable[CompiledMapping]) -> "nx.DiGraph":
+    """Cross-schema attribute dependency graph.
+
+    Nodes are ``(schema, attribute)`` (lower-case); an edge dep → target
+    exists for every rule reading *dep* and writing *target*, annotated
+    with the rule."""
+    graph = nx.DiGraph()
+    for mapping in mappings:
+        source = mapping.source.lower()
+        target = mapping.target.lower()
+        for rule in mapping.rules:
+            for dep in rule.deps:
+                graph.add_edge(
+                    (source, dep),
+                    (target, rule.target.lower()),
+                    rule=rule,
+                    mapping=mapping.name,
+                )
+    return graph
+
+
+def _apply_rule(rule: CompiledRule, dep: str, value: str) -> str | None:
+    values = _as_values(execute(rule.code, {dep: [value]}))
+    return values[0] if values else None
+
+
+def analyze_cycles(mappings: Iterable[CompiledMapping]) -> list[CycleReport]:
+    """Find dependency cycles and probe each for fixpoint stability."""
+    mappings = list(mappings)
+    graph = dependency_graph(mappings)
+    reports: list[CycleReport] = []
+    for cycle in nx.simple_cycles(graph):
+        stable = True
+        trace: tuple[str | None, ...] = ()
+        for probe in _PROBE_VALUES:
+            value: str | None = probe
+            laps: list[str | None] = [probe]
+            for lap in range(2):
+                for i, node in enumerate(cycle):
+                    succ = cycle[(i + 1) % len(cycle)]
+                    edge = graph.get_edge_data(node, succ)
+                    if edge is None or value is None:
+                        value = None
+                        break
+                    value = _apply_rule(edge["rule"], node[1], value)
+                laps.append(value)
+            if laps[1] is not None and laps[1] != laps[2]:
+                stable = False
+                trace = tuple(laps)
+                break
+            if not trace:
+                trace = tuple(laps)
+        reports.append(CycleReport(tuple(cycle), stable, trace))
+    return reports
+
+
+def check_cycles(mappings: Iterable[CompiledMapping], strict: bool = True) -> list[CycleReport]:
+    """Compile-time gate: raise on cycles that can never reach a fixpoint."""
+    reports = analyze_cycles(mappings)
+    unstable = [r for r in reports if not r.stable]
+    if strict and unstable:
+        raise CyclicDependencyError(
+            "mappings contain non-convergent cycles: "
+            + "; ".join(str(r) for r in unstable)
+        )
+    return reports

@@ -1,0 +1,189 @@
+"""Compiler: lexpress AST → stack-machine byte code.
+
+Besides code generation, the compiler performs dependency analysis: every
+:class:`~repro.lexpress.bytecode.CodeObject` records the set of source
+attributes it reads.  Those sets drive (a) incremental translation — a
+modify descriptor only re-evaluates rules whose dependencies changed — and
+(b) the cross-repository transitive-closure engine.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import (
+    AttrRef,
+    BoolOp,
+    Call,
+    Compare,
+    Each,
+    Expr,
+    GroupRef,
+    Literal,
+    Match,
+    NotOp,
+    Table,
+    ValueRef,
+)
+from .bytecode import CodeObject, Op
+from .errors import LexpressCompileError
+from .functions import known_functions
+
+
+# Functions whose arguments should see *all* values of a multi-valued
+# attribute, not just the first: attribute references in these positions
+# compile to LOAD_ALL.  "all" marks every position (alt must be able to
+# fall back across multi-valued attributes).
+_LIST_ARG_FUNCTIONS: dict[str, set[int] | str] = {
+    "count": {0},
+    "join": {0},
+    "first": {0},
+    "last": {0},
+    "present": {0},
+    "empty": {0},
+    "alt": "all",
+    "ifnull": {0},
+}
+
+
+class ExprCompiler:
+    """Compiles one expression into one CodeObject."""
+
+    def __init__(self, name: str):
+        self.code = CodeObject(name)
+        self.deps: set[str] = set()
+
+    def compile(self, expr: Expr) -> CodeObject:
+        self._emit_expr(expr)
+        self.code.emit(Op.RETURN)
+        self.code.deps = frozenset(self.deps)
+        return self.code
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _emit_expr(self, expr: Expr) -> None:
+        if isinstance(expr, Literal):
+            self.code.emit(Op.PUSH, self.code.const(expr.value))
+        elif isinstance(expr, AttrRef):
+            self.deps.add(expr.name.lower())
+            self.code.emit(Op.LOAD_ATTR, self.code.const(expr.name))
+        elif isinstance(expr, GroupRef):
+            self.code.emit(Op.LOAD_GROUP, expr.index)
+        elif isinstance(expr, ValueRef):
+            self.code.emit(Op.LOAD_VALUE)
+        elif isinstance(expr, Call):
+            self._emit_call(expr)
+        elif isinstance(expr, Compare):
+            self._emit_expr(expr.left)
+            self._emit_expr(expr.right)
+            self.code.emit(Op.EQ if expr.op == "==" else Op.NEQ)
+        elif isinstance(expr, NotOp):
+            self._emit_expr(expr.operand)
+            self.code.emit(Op.NOT)
+        elif isinstance(expr, BoolOp):
+            self._emit_bool(expr)
+        elif isinstance(expr, Match):
+            self._emit_match(expr)
+        elif isinstance(expr, Table):
+            self._emit_table(expr)
+        elif isinstance(expr, Each):
+            self._emit_each(expr)
+        else:  # pragma: no cover - grammar is closed
+            raise LexpressCompileError(f"cannot compile {type(expr).__name__}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _emit_call(self, expr: Call) -> None:
+        if expr.function not in known_functions():
+            raise LexpressCompileError(
+                f"unknown function {expr.function!r} "
+                f"(known: {', '.join(known_functions())})"
+            )
+        list_positions = _LIST_ARG_FUNCTIONS.get(expr.function, set())
+        for i, arg in enumerate(expr.args):
+            wants_list = list_positions == "all" or i in list_positions
+            if wants_list and isinstance(arg, AttrRef):
+                self.deps.add(arg.name.lower())
+                self.code.emit(Op.LOAD_ALL, self.code.const(arg.name))
+            else:
+                self._emit_expr(arg)
+        self.code.emit(Op.CALL, (self.code.const(expr.function), len(expr.args)))
+
+    def _emit_bool(self, expr: BoolOp) -> None:
+        jump_op = Op.JUMP_IF_FALSE if expr.op == "and" else Op.JUMP_IF_TRUE
+        self._emit_expr(expr.left)
+        first = self.code.emit(jump_op)
+        self._emit_expr(expr.right)
+        second = self.code.emit(jump_op)
+        self.code.emit(Op.PUSH, self.code.const(expr.op == "and"))
+        done = self.code.emit(Op.JUMP)
+        target = len(self.code)
+        self.code.patch(first, target)
+        self.code.patch(second, target)
+        self.code.emit(Op.PUSH, self.code.const(expr.op != "and"))
+        self.code.patch(done, len(self.code))
+
+    def _emit_match(self, expr: Match) -> None:
+        self._emit_expr(expr.subject)
+        end_jumps: list[int] = []
+        fell_through = True
+        for arm in expr.arms:
+            if arm.pattern is None:  # wildcard: consumes the subject
+                self.code.emit(Op.POP)
+                self._emit_expr(arm.body)
+                fell_through = False
+                break
+            self.code.emit(Op.DUP)
+            if arm.literal:
+                self.code.emit(Op.MATCH_LIT, self.code.const(arm.pattern))
+            else:
+                try:
+                    compiled = re.compile(arm.pattern)
+                except re.error as exc:
+                    raise LexpressCompileError(
+                        f"bad regex /{arm.pattern}/: {exc}"
+                    ) from None
+                self.code.emit(Op.MATCH_RE, self.code.const(compiled))
+            next_arm = self.code.emit(Op.JUMP_IF_FALSE)
+            self.code.emit(Op.POP)  # drop the subject
+            self._emit_expr(arm.body)
+            end_jumps.append(self.code.emit(Op.JUMP))
+            self.code.patch(next_arm, len(self.code))
+        if fell_through:
+            # No arm matched: the result is null (unset), letting alt()
+            # or later rules handle the dirty value.
+            self.code.emit(Op.POP)
+            self.code.emit(Op.PUSH, self.code.const(None))
+        for jump in end_jumps:
+            self.code.patch(jump, len(self.code))
+
+    def _emit_table(self, expr: Table) -> None:
+        self._emit_expr(expr.subject)
+        end_jumps: list[int] = []
+        for entry in expr.entries:
+            self.code.emit(Op.DUP)
+            self.code.emit(Op.MATCH_LIT, self.code.const(entry.key))
+            next_entry = self.code.emit(Op.JUMP_IF_FALSE)
+            self.code.emit(Op.POP)
+            self._emit_expr(entry.body)
+            end_jumps.append(self.code.emit(Op.JUMP))
+            self.code.patch(next_entry, len(self.code))
+        self.code.emit(Op.POP)
+        if expr.default is not None:
+            self._emit_expr(expr.default)
+        else:
+            self.code.emit(Op.PUSH, self.code.const(None))
+        for jump in end_jumps:
+            self.code.patch(jump, len(self.code))
+
+    def _emit_each(self, expr: Each) -> None:
+        self.deps.add(expr.attribute.lower())
+        body = compile_expr(expr.body, f"{self.code.name}:each")
+        self.deps.update(body.deps)
+        self.code.emit(Op.LOAD_ALL, self.code.const(expr.attribute))
+        self.code.emit(Op.EACH_APPLY, self.code.const(body))
+
+
+def compile_expr(expr: Expr, name: str = "<expr>") -> CodeObject:
+    """Compile a single expression AST into byte code."""
+    return ExprCompiler(name).compile(expr)

@@ -1,0 +1,153 @@
+"""lexpress update descriptors and translated target updates.
+
+"When a filter receives a change notification from its associated
+repository, it creates a lexpress update descriptor of the change."
+(paper section 4.1.)  The descriptor is the canonical, repository-neutral
+representation of one update: operation kind, old and new attribute
+images, which attributes the client set explicitly, and where the update
+originally entered the system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+
+class UpdateOp(enum.Enum):
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+def normalize_attrs(
+    attrs: Mapping[str, Sequence[str] | str] | None,
+) -> dict[str, list[str]] | None:
+    """Canonical attribute dict: original-ish names, list-of-string values."""
+    if attrs is None:
+        return None
+    out: dict[str, list[str]] = {}
+    for name, values in attrs.items():
+        if isinstance(values, str):
+            values = [values]
+        out[name] = [str(v) for v in values]
+    return out
+
+
+def _get(attrs: Mapping[str, list[str]] | None, name: str) -> list[str]:
+    if not attrs:
+        return []
+    wanted = name.lower()
+    for key, values in attrs.items():
+        if key.lower() == wanted:
+            return list(values)
+    return []
+
+
+@dataclass(frozen=True)
+class UpdateDescriptor:
+    """One update in canonical form.
+
+    ``old``/``new`` are full attribute images before/after the update
+    (``None`` for the missing side of adds and deletes).  ``explicit`` is
+    the set of attribute names (lower-case) the client set directly — the
+    transitive-closure engine must never overwrite those (section 4.2).
+    ``origin`` names the repository where the update first entered the
+    system; the Originator machinery (section 5.4) compares it against
+    update targets to emit conditional operations.
+    """
+
+    op: UpdateOp
+    source: str
+    key: str | None
+    old: dict[str, list[str]] | None = None
+    new: dict[str, list[str]] | None = None
+    explicit: frozenset[str] = frozenset()
+    origin: str | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "old", normalize_attrs(self.old))
+        object.__setattr__(self, "new", normalize_attrs(self.new))
+        object.__setattr__(
+            self, "explicit", frozenset(a.lower() for a in self.explicit)
+        )
+        if self.origin is None:
+            object.__setattr__(self, "origin", self.source)
+        if self.op is UpdateOp.ADD and self.new is None:
+            raise ValueError("ADD descriptor needs a new image")
+        if self.op is UpdateOp.DELETE and self.old is None:
+            raise ValueError("DELETE descriptor needs an old image")
+        if self.op is UpdateOp.MODIFY and (self.old is None or self.new is None):
+            raise ValueError("MODIFY descriptor needs both images")
+
+    # -- derived ------------------------------------------------------------
+
+    def changed_attributes(self) -> frozenset[str]:
+        """Lower-case names of attributes whose values differ old → new."""
+        old = self.old or {}
+        new = self.new or {}
+        names = {k.lower() for k in old} | {k.lower() for k in new}
+        changed = set()
+        for name in names:
+            if _get(self.old, name) != _get(self.new, name):
+                changed.add(name)
+        return frozenset(changed)
+
+    def get_new(self, name: str) -> list[str]:
+        return _get(self.new, name)
+
+    def get_old(self, name: str) -> list[str]:
+        return _get(self.old, name)
+
+    def with_new_attribute(self, name: str, values: Sequence[str]) -> "UpdateDescriptor":
+        """A copy with one attribute of the new image replaced/added —
+        used to fold device-generated information back in (section 5.5)."""
+        new = dict(self.new or {})
+        for key in list(new):
+            if key.lower() == name.lower():
+                del new[key]
+        new[name] = [str(v) for v in values]
+        return replace(self, new=new)
+
+
+class TargetAction(enum.Enum):
+    """What a translated update does at the target repository.
+
+    The four cases are the partitioning matrix of section 4.2: whether the
+    old and new attribute images satisfy the target's constraints decides
+    between add, modify, delete and skip.
+    """
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+    SKIP = "skip"
+
+
+@dataclass(frozen=True)
+class TargetUpdate:
+    """The result of translating a descriptor toward one target repository."""
+
+    action: TargetAction
+    target: str
+    #: Target-schema key value after the update (None for deletes).
+    key: str | None
+    #: Target-schema key value before the update (differs from ``key`` on renames).
+    old_key: str | None
+    #: Name of the target-schema key attribute (from the mapping's `key` decl).
+    key_attribute: str | None = None
+    #: Full new attribute image in the target schema ({} for deletes).
+    attributes: dict[str, list[str]] = field(default_factory=dict)
+    #: Full old attribute image in the target schema ({} for adds).
+    old_attributes: dict[str, list[str]] = field(default_factory=dict)
+    #: For modifies: only the attributes whose values changed.
+    changed: dict[str, list[str]] = field(default_factory=dict)
+    #: For modifies: attributes that were set before and are now unset.
+    removed: tuple[str, ...] = ()
+    #: Section 5.4: true when the update is being sent back to the
+    #: repository it originated from — the filter must reapply it with
+    #: conditional semantics (add → conditional modify, etc.).
+    conditional: bool = False
+    #: Name of the mapping that produced this update (diagnostics).
+    mapping: str = ""

@@ -1,0 +1,264 @@
+"""The lexpress runtime function library.
+
+These are the "string operations" and related helpers the mapping language
+exposes (paper section 4.2).  All scalar string functions propagate null:
+when a required argument is null the result is null, which is what makes
+``alt(...)`` fallback chains compose cleanly with missing/dirty data.
+
+Values at runtime are ``None``, ``str``, ``bool`` or ``list[str]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from .errors import LexpressRuntimeError
+
+Value = Any  # None | str | bool | list[str]
+
+_REGISTRY: dict[str, Callable[..., Value]] = {}
+
+
+def register(name: str):
+    def decorate(fn: Callable[..., Value]) -> Callable[..., Value]:
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def lookup(name: str) -> Callable[..., Value]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise LexpressRuntimeError(f"unknown function {name!r}") from None
+
+
+def known_functions() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def _scalar(value: Value) -> str | None:
+    """Coerce to a scalar string (first element of a list), or None."""
+    if value is None or isinstance(value, bool):
+        return None if value is None else ("true" if value else "false")
+    if isinstance(value, list):
+        return str(value[0]) if value else None
+    return str(value)
+
+
+def _require(*values: Value) -> list[str] | None:
+    """Coerce all to scalars; None when any is null (null propagation)."""
+    out = []
+    for value in values:
+        scalar = _scalar(value)
+        if scalar is None:
+            return None
+        out.append(scalar)
+    return out
+
+
+# -- string operations --------------------------------------------------------
+
+
+@register("concat")
+def fn_concat(*args: Value) -> Value:
+    scalars = _require(*args)
+    return None if scalars is None else "".join(scalars)
+
+
+@register("upper")
+def fn_upper(value: Value) -> Value:
+    scalar = _scalar(value)
+    return None if scalar is None else scalar.upper()
+
+
+@register("lower")
+def fn_lower(value: Value) -> Value:
+    scalar = _scalar(value)
+    return None if scalar is None else scalar.lower()
+
+
+@register("trim")
+def fn_trim(value: Value) -> Value:
+    scalar = _scalar(value)
+    return None if scalar is None else scalar.strip()
+
+
+@register("substr")
+def fn_substr(value: Value, start: Value, length: Value = None) -> Value:
+    scalars = _require(value, start)
+    if scalars is None:
+        return None
+    text, start_text = scalars
+    try:
+        begin = int(start_text)
+    except ValueError:
+        raise LexpressRuntimeError(f"substr: bad start index {start_text!r}")
+    if length is None:
+        return text[begin:]
+    length_text = _scalar(length)
+    if length_text is None:
+        return None
+    try:
+        count = int(length_text)
+    except ValueError:
+        raise LexpressRuntimeError(f"substr: bad length {length_text!r}")
+    return text[begin:begin + count]
+
+
+@register("replace")
+def fn_replace(value: Value, old: Value, new: Value) -> Value:
+    scalars = _require(value, old, new)
+    if scalars is None:
+        return None
+    text, old_text, new_text = scalars
+    return text.replace(old_text, new_text)
+
+
+@register("pad")
+def fn_pad(value: Value, width: Value, fill: Value = "0") -> Value:
+    scalars = _require(value, width, fill)
+    if scalars is None:
+        return None
+    text, width_text, fill_text = scalars
+    try:
+        target = int(width_text)
+    except ValueError:
+        raise LexpressRuntimeError(f"pad: bad width {width_text!r}")
+    if not fill_text:
+        raise LexpressRuntimeError("pad: empty fill")
+    while len(text) < target:
+        text = fill_text + text
+    return text
+
+
+@register("digits")
+def fn_digits(value: Value) -> Value:
+    """Keep only digit characters — the classic dirty-phone-number cleaner."""
+    scalar = _scalar(value)
+    return None if scalar is None else re.sub(r"\D", "", scalar)
+
+
+# -- predicates -----------------------------------------------------------------
+
+
+@register("prefix")
+def fn_prefix(value: Value, prefix: Value) -> Value:
+    scalars = _require(value, prefix)
+    return False if scalars is None else scalars[0].startswith(scalars[1])
+
+
+@register("suffix")
+def fn_suffix(value: Value, suffix: Value) -> Value:
+    scalars = _require(value, suffix)
+    return False if scalars is None else scalars[0].endswith(scalars[1])
+
+
+@register("contains")
+def fn_contains(value: Value, needle: Value) -> Value:
+    scalars = _require(value, needle)
+    return False if scalars is None else scalars[1] in scalars[0]
+
+
+@register("matches")
+def fn_matches(value: Value, pattern: Value) -> Value:
+    scalars = _require(value, pattern)
+    if scalars is None:
+        return False
+    text, regex = scalars
+    try:
+        return re.search(regex, text) is not None
+    except re.error as exc:
+        raise LexpressRuntimeError(f"matches: bad regex {regex!r}: {exc}")
+
+
+@register("present")
+def fn_present(value: Value) -> Value:
+    if isinstance(value, list):
+        return bool(value)
+    return value is not None
+
+
+@register("empty")
+def fn_empty(value: Value) -> Value:
+    return not fn_present(value)
+
+
+# -- alternates and defaults -------------------------------------------------------
+
+
+def _unwrap(value: Value) -> Value:
+    """Single-element lists act like scalars in fallback results."""
+    if isinstance(value, list) and len(value) == 1:
+        return str(value[0])
+    return value
+
+
+@register("alt")
+def fn_alt(*args: Value) -> Value:
+    """First non-null argument — the "alternate attribute mappings" feature."""
+    for value in args:
+        if isinstance(value, list):
+            if value:
+                return _unwrap(value)
+        elif value is not None:
+            return value
+    return None
+
+
+@register("ifnull")
+def fn_ifnull(value: Value, fallback: Value) -> Value:
+    if value is None or (isinstance(value, list) and not value):
+        return fallback
+    return _unwrap(value)
+
+
+# -- multi-valued attribute processing ------------------------------------------------
+
+
+@register("split")
+def fn_split(value: Value, sep: Value) -> Value:
+    scalars = _require(value, sep)
+    if scalars is None:
+        return None
+    text, separator = scalars
+    if not separator:
+        raise LexpressRuntimeError("split: empty separator")
+    return [part for part in text.split(separator)]
+
+
+@register("join")
+def fn_join(value: Value, sep: Value) -> Value:
+    separator = _scalar(sep)
+    if separator is None:
+        return None
+    if value is None:
+        return None
+    if not isinstance(value, list):
+        return str(value)
+    return separator.join(str(v) for v in value)
+
+
+@register("first")
+def fn_first(value: Value) -> Value:
+    if isinstance(value, list):
+        return str(value[0]) if value else None
+    return _scalar(value)
+
+
+@register("last")
+def fn_last(value: Value) -> Value:
+    if isinstance(value, list):
+        return str(value[-1]) if value else None
+    return _scalar(value)
+
+
+@register("count")
+def fn_count(value: Value) -> Value:
+    if value is None:
+        return "0"
+    if isinstance(value, list):
+        return str(len(value))
+    return "1"

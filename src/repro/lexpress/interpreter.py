@@ -1,0 +1,165 @@
+"""The lexpress byte-code interpreter.
+
+Executes a :class:`~repro.lexpress.bytecode.CodeObject` against a source
+record (a mapping from attribute name to list of string values).  The
+compiler and interpreter together form the "subroutine library that can be
+called from any program" of paper section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .bytecode import CodeObject, Op
+from .errors import LexpressRuntimeError
+from .functions import lookup
+
+Value = Any  # None | str | bool | list[str]
+
+
+def truthy(value: Value) -> bool:
+    """Boolean coercion: null and empty values are false."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (str, list)):
+        return bool(value)
+    return bool(value)
+
+
+class _Frame:
+    __slots__ = ("attrs", "groups", "value")
+
+    def __init__(self, attrs: Mapping[str, Sequence[str]], value: Value = None):
+        # Attribute lookup is case-insensitive, like LDAP itself.
+        self.attrs = {k.lower(): list(v) for k, v in attrs.items()}
+        self.groups: list[str | None] = []
+        self.value = value
+
+
+def execute(
+    code: CodeObject,
+    attrs: Mapping[str, Sequence[str]],
+    value: Value = None,
+) -> Value:
+    """Run *code* against the source record *attrs* and return its value."""
+    frame = _Frame(attrs, value)
+    return _run(code, frame)
+
+
+def _run(code: CodeObject, frame: _Frame) -> Value:
+    stack: list[Value] = []
+    pc = 0
+    instructions = code.instructions
+    consts = code.consts
+    while pc < len(instructions):
+        ins = instructions[pc]
+        op = ins.op
+        pc += 1
+        if op is Op.PUSH:
+            stack.append(consts[ins.arg])
+        elif op is Op.LOAD_ATTR:
+            values = frame.attrs.get(consts[ins.arg].lower(), [])
+            stack.append(str(values[0]) if values else None)
+        elif op is Op.LOAD_ALL:
+            values = frame.attrs.get(consts[ins.arg].lower(), [])
+            stack.append([str(v) for v in values])
+        elif op is Op.LOAD_GROUP:
+            index = ins.arg
+            if index < len(frame.groups):
+                stack.append(frame.groups[index])
+            else:
+                stack.append(None)
+        elif op is Op.LOAD_VALUE:
+            stack.append(frame.value)
+        elif op is Op.CALL:
+            name_idx, argc = ins.arg
+            fn = lookup(consts[name_idx])
+            if argc:
+                args = stack[-argc:]
+                del stack[-argc:]
+            else:
+                args = []
+            try:
+                stack.append(fn(*args))
+            except TypeError as exc:
+                raise LexpressRuntimeError(
+                    f"{consts[name_idx]}: {exc}"
+                ) from None
+        elif op is Op.MATCH_RE:
+            subject = stack.pop()
+            if subject is None:
+                stack.append(False)
+                continue
+            match = consts[ins.arg].search(str(subject))
+            if match:
+                frame.groups = [match.group(0), *match.groups()]
+                stack.append(True)
+            else:
+                stack.append(False)
+        elif op is Op.MATCH_LIT:
+            subject = stack.pop()
+            literal = consts[ins.arg]
+            matched = subject is not None and str(subject) == literal
+            if matched:
+                frame.groups = [str(subject)]
+            stack.append(matched)
+        elif op is Op.EACH_APPLY:
+            body: CodeObject = consts[ins.arg]
+            values = stack.pop()
+            if values is None:
+                values = []
+            if not isinstance(values, list):
+                values = [values]
+            results: list[str] = []
+            for element in values:
+                sub = _Frame(frame.attrs, str(element))
+                sub.attrs = frame.attrs  # share, no copy needed
+                result = _run(body, sub)
+                if result is None:
+                    continue
+                if isinstance(result, list):
+                    results.extend(str(r) for r in result)
+                elif isinstance(result, bool):
+                    results.append("true" if result else "false")
+                else:
+                    results.append(str(result))
+            stack.append(results)
+        elif op is Op.DUP:
+            stack.append(stack[-1])
+        elif op is Op.POP:
+            stack.pop()
+        elif op is Op.IS_NULL:
+            stack.append(stack.pop() is None)
+        elif op is Op.EQ:
+            right, left = stack.pop(), stack.pop()
+            stack.append(_equal(left, right))
+        elif op is Op.NEQ:
+            right, left = stack.pop(), stack.pop()
+            stack.append(not _equal(left, right))
+        elif op is Op.NOT:
+            stack.append(not truthy(stack.pop()))
+        elif op is Op.JUMP:
+            pc = ins.arg
+        elif op is Op.JUMP_IF_FALSE:
+            if not truthy(stack.pop()):
+                pc = ins.arg
+        elif op is Op.JUMP_IF_TRUE:
+            if truthy(stack.pop()):
+                pc = ins.arg
+        elif op is Op.RETURN:
+            return stack.pop() if stack else None
+        else:  # pragma: no cover - opcode set is closed
+            raise LexpressRuntimeError(f"bad opcode {op}")
+    raise LexpressRuntimeError(f"code {code.name!r} fell off the end")
+
+
+def _equal(left: Value, right: Value) -> bool:
+    if left is None or right is None:
+        return left is right
+    if isinstance(left, list) or isinstance(right, list):
+        left_list = left if isinstance(left, list) else [left]
+        right_list = right if isinstance(right, list) else [right]
+        return [str(v) for v in left_list] == [str(v) for v in right_list]
+    return str(left) == str(right)

@@ -1,0 +1,237 @@
+"""Tokenizer for the lexpress mapping language.
+
+The language is small and declarative; the full token inventory is listed
+in :data:`KEYWORDS` and :class:`TokenType`.  ``#`` starts a comment that
+runs to end of line.  Regular-expression literals are written ``/…/`` —
+the language has no division operator, so a slash always opens a regex.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import LexpressSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    REGEX = "regex"
+    GROUP = "group"  # $1, $2, ...
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    SEMI = ";"
+    COMMA = ","
+    ASSIGN = "="
+    ARROW = "=>"
+    MAPSTO = "->"
+    EQEQ = "=="
+    NEQ = "!="
+    UNDERSCORE = "_"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "mapping",
+        "source",
+        "target",
+        "key",
+        "originator",
+        "map",
+        "partition",
+        "when",
+        "match",
+        "table",
+        "each",
+        "default",
+        "and",
+        "or",
+        "not",
+        "value",
+        "null",
+        "true",
+        "false",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.text!r})"
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> LexpressSyntaxError:
+        return LexpressSyntaxError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self.next_token()
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        ch = self._peek()
+        if not ch:
+            return Token(TokenType.EOF, "", line, column)
+
+        two = ch + self._peek(1)
+        if two == "=>":
+            self._advance(2)
+            return Token(TokenType.ARROW, "=>", line, column)
+        if two == "->":
+            self._advance(2)
+            return Token(TokenType.MAPSTO, "->", line, column)
+        if two == "==":
+            self._advance(2)
+            return Token(TokenType.EQEQ, "==", line, column)
+        if two == "!=":
+            self._advance(2)
+            return Token(TokenType.NEQ, "!=", line, column)
+
+        simple = {
+            "{": TokenType.LBRACE,
+            "}": TokenType.RBRACE,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ";": TokenType.SEMI,
+            ",": TokenType.COMMA,
+            "=": TokenType.ASSIGN,
+        }
+        if ch in simple:
+            self._advance()
+            return Token(simple[ch], ch, line, column)
+
+        if ch == '"':
+            return self._string(line, column)
+        if ch == "/":
+            return self._regex(line, column)
+        if ch == "$":
+            return self._group(line, column)
+        if ch == "_" and not (self._peek(1).isalnum() or self._peek(1) == "_"):
+            self._advance()
+            return Token(TokenType.UNDERSCORE, "_", line, column)
+        if ch.isdigit():
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._ident(line, column)
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "#":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        out: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self.error("unterminated string literal")
+            if ch == "\\":
+                escape = self._peek(1)
+                mapped = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape)
+                if mapped is None:
+                    raise self.error(f"bad string escape \\{escape}")
+                out.append(mapped)
+                self._advance(2)
+                continue
+            if ch == '"':
+                self._advance()
+                return Token(TokenType.STRING, "".join(out), line, column)
+            out.append(ch)
+            self._advance()
+
+    def _regex(self, line: int, column: int) -> Token:
+        self._advance()  # opening slash
+        out: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self.error("unterminated regex literal")
+            if ch == "\\":
+                out.append(ch)
+                out.append(self._peek(1))
+                self._advance(2)
+                continue
+            if ch == "/":
+                self._advance()
+                return Token(TokenType.REGEX, "".join(out), line, column)
+            out.append(ch)
+            self._advance()
+
+    def _group(self, line: int, column: int) -> Token:
+        self._advance()  # $
+        digits: list[str] = []
+        while self._peek().isdigit():
+            digits.append(self._peek())
+            self._advance()
+        if not digits:
+            raise self.error("expected digits after '$'")
+        return Token(TokenType.GROUP, "".join(digits), line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        out: list[str] = []
+        while self._peek().isdigit():
+            out.append(self._peek())
+            self._advance()
+        return Token(TokenType.NUMBER, "".join(out), line, column)
+
+    def _ident(self, line: int, column: int) -> Token:
+        out: list[str] = []
+        while self._peek().isalnum() or self._peek() == "_":
+            out.append(self._peek())
+            self._advance()
+        text = "".join(out)
+        if text in KEYWORDS:
+            return Token(TokenType.KEYWORD, text, line, column)
+        return Token(TokenType.IDENT, text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    return Lexer(source).tokens()

@@ -1,0 +1,189 @@
+"""Mapping-set builder and common telecom mapping helpers.
+
+Section 5.4: "Although the lexpress mappings are simple to construct, we
+found them to be repetitive for integrating several devices with closely
+related mappings.  A graphical user interface (GUI) was implemented that
+eliminates the need to enter redundant information ... We plan to automate
+the repetition of dependency information in relevant mappings as part of
+the generation of lexpress description files by the GUI."
+
+:class:`MappingSetBuilder` is that generator, minus the pixels: declare an
+attribute correspondence once and it emits the lexpress source for *both*
+directions of the schema pair, including the Originator bookkeeping that
+every device↔directory pair needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import LexpressCompileError
+from .mapping import CompiledMapping, compile_mapping
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+@dataclass
+class _Rule:
+    target: str
+    expression: str
+
+
+class MappingSetBuilder:
+    """Generates the forward and backward lexpress mappings of a schema pair."""
+
+    def __init__(self, source: str, target: str, name: str | None = None):
+        self.source = source
+        self.target = target
+        self.name = name or f"{source}_{target}"
+        self._key: tuple[str, str] | None = None
+        self._originator_attr: str | None = None
+        self._forward: list[_Rule] = []
+        self._backward: list[_Rule] = []
+        self._partition_forward: str | None = None
+        self._partition_backward: str | None = None
+
+    # -- declarations -----------------------------------------------------------
+
+    def key(self, source_attr: str, target_attr: str) -> "MappingSetBuilder":
+        self._key = (source_attr, target_attr)
+        return self
+
+    def originator(self, attribute: str) -> "MappingSetBuilder":
+        """Declare the target-side attribute recording who updated last.
+
+        Generates ``map <attribute> = "<source>";`` in the forward mapping
+        and ``originator <attribute>;`` in the backward mapping — the full
+        section-5.4 pattern from one line."""
+        self._originator_attr = attribute
+        return self
+
+    def map(self, source_attr: str, target_attr: str) -> "MappingSetBuilder":
+        """Identity correspondence, both directions."""
+        self._forward.append(_Rule(target_attr, source_attr))
+        self._backward.append(_Rule(source_attr, target_attr))
+        return self
+
+    def map_with(
+        self,
+        source_attr: str,
+        target_attr: str,
+        forward: str,
+        backward: str | None = None,
+    ) -> "MappingSetBuilder":
+        """Transformed correspondence; *forward*/*backward* are lexpress
+        expressions in the respective source schema's attribute space."""
+        self._forward.append(_Rule(target_attr, forward))
+        if backward is not None:
+            self._backward.append(_Rule(source_attr, backward))
+        return self
+
+    def table(
+        self,
+        source_attr: str,
+        target_attr: str,
+        translations: dict[str, str],
+        default: str | None = None,
+        reverse_default: str | None = None,
+    ) -> "MappingSetBuilder":
+        """Table translation declared once, inverted automatically."""
+        entries = "".join(
+            f"        {_quote(k)} => {_quote(v)};\n" for k, v in translations.items()
+        )
+        default_clause = (
+            f"        default => {_quote(default)};\n" if default is not None else ""
+        )
+        self._forward.append(
+            _Rule(
+                target_attr,
+                "table " + source_attr + " {\n" + entries + default_clause + "    }",
+            )
+        )
+        inverted: dict[str, str] = {}
+        for key, value in translations.items():
+            inverted.setdefault(value, key)
+        rentries = "".join(
+            f"        {_quote(k)} => {_quote(v)};\n" for k, v in inverted.items()
+        )
+        rdefault = (
+            f"        default => {_quote(reverse_default)};\n"
+            if reverse_default is not None
+            else ""
+        )
+        self._backward.append(
+            _Rule(
+                source_attr,
+                "table " + target_attr + " {\n" + rentries + rdefault + "    }",
+            )
+        )
+        return self
+
+    def partition(
+        self, forward: str | None = None, backward: str | None = None
+    ) -> "MappingSetBuilder":
+        if forward is not None:
+            self._partition_forward = forward
+        if backward is not None:
+            self._partition_backward = backward
+        return self
+
+    # -- generation ------------------------------------------------------------
+
+    def _render(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        key: tuple[str, str] | None,
+        rules: list[_Rule],
+        partition: str | None,
+        originator_decl: str | None,
+        originator_rule: str | None,
+    ) -> str:
+        lines = [f"mapping {name} {{"]
+        lines.append(f"    source {source};")
+        lines.append(f"    target {target};")
+        if key is not None:
+            lines.append(f"    key {key[0]} -> {key[1]};")
+        if originator_decl is not None:
+            lines.append(f"    originator {originator_decl};")
+        for rule in rules:
+            lines.append(f"    map {rule.target} = {rule.expression};")
+        if originator_rule is not None:
+            lines.append(f"    map {originator_rule} = {_quote(source)};")
+        if partition is not None:
+            lines.append(f"    partition when {partition};")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def build(self) -> tuple[str, str]:
+        """Return (forward source, backward source) lexpress texts."""
+        if self._key is None:
+            raise LexpressCompileError("a mapping set needs a key correspondence")
+        forward = self._render(
+            f"{self.source}_to_{self.target}",
+            self.source,
+            self.target,
+            self._key,
+            self._forward,
+            self._partition_forward,
+            originator_decl=None,
+            originator_rule=self._originator_attr,
+        )
+        backward = self._render(
+            f"{self.target}_to_{self.source}",
+            self.target,
+            self.source,
+            (self._key[1], self._key[0]),
+            self._backward,
+            self._partition_backward,
+            originator_decl=self._originator_attr,
+            originator_rule=None,
+        )
+        return forward, backward
+
+    def compile(self) -> tuple[CompiledMapping, CompiledMapping]:
+        forward, backward = self.build()
+        return compile_mapping(forward), compile_mapping(backward)

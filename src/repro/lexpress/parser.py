@@ -1,0 +1,329 @@
+"""Recursive-descent parser for the lexpress mapping language.
+
+Grammar (EBNF; ``#`` comments and whitespace are trivia)::
+
+    description  := mapping+
+    mapping      := "mapping" IDENT "{" statement* "}"
+    statement    := "source" IDENT ";"
+                  | "target" IDENT ";"
+                  | "key" IDENT "->" IDENT ";"
+                  | "originator" IDENT ";"
+                  | "map" IDENT "=" expr ";"
+                  | "partition" "when" expr ";"
+    expr         := or_expr
+    or_expr      := and_expr ("or" and_expr)*
+    and_expr     := not_expr ("and" not_expr)*
+    not_expr     := "not" not_expr | comparison
+    comparison   := primary (("==" | "!=") primary)?
+    primary      := STRING | NUMBER | "null" | "true" | "false"
+                  | GROUP | "value"
+                  | IDENT "(" [expr ("," expr)*] ")"     # function call
+                  | IDENT                                # attribute reference
+                  | "match" primary "{" arm+ "}"
+                  | "table" primary "{" tentry* [ "default" "=>" expr ";" ] "}"
+                  | "each" IDENT "=>" expr
+                  | "(" expr ")"
+    arm          := (REGEX | STRING | "_") "=>" expr ";"
+    tentry       := STRING "=>" expr ";"
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AttrRef,
+    BoolOp,
+    Call,
+    Compare,
+    Description,
+    Each,
+    Expr,
+    GroupRef,
+    Literal,
+    MapRule,
+    MappingDecl,
+    Match,
+    MatchArm,
+    NotOp,
+    Table,
+    TableEntry,
+    ValueRef,
+)
+from .errors import LexpressSyntaxError
+from .lexer import Token, TokenType, tokenize
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> LexpressSyntaxError:
+        token = self.peek()
+        return LexpressSyntaxError(
+            f"{message}, found {token}", token.line, token.column
+        )
+
+    def expect(self, token_type: TokenType) -> Token:
+        if self.peek().type is not token_type:
+            raise self.error(f"expected {token_type.value!r}")
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.peek().is_keyword(word):
+            raise self.error(f"expected keyword {word!r}")
+        return self.advance()
+
+    def accept(self, token_type: TokenType) -> Token | None:
+        if self.peek().type is token_type:
+            return self.advance()
+        return None
+
+    def accept_keyword(self, word: str) -> Token | None:
+        if self.peek().is_keyword(word):
+            return self.advance()
+        return None
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        # Allow keywords like "value"/"key" to double as attribute names
+        # only when unambiguous is hard; keep it strict for clarity.
+        if token.type is not TokenType.IDENT:
+            raise self.error("expected identifier")
+        return self.advance().text
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_description(self) -> Description:
+        mappings = []
+        while not self.accept(TokenType.EOF) and self.peek().type is not TokenType.EOF:
+            mappings.append(self.parse_mapping())
+        if not mappings:
+            raise LexpressSyntaxError("empty description: expected 'mapping'")
+        return Description(tuple(mappings))
+
+    def parse_mapping(self) -> MappingDecl:
+        self.expect_keyword("mapping")
+        name = self.expect_ident()
+        self.expect(TokenType.LBRACE)
+
+        source = target = None
+        key_source = key_target = None
+        originator = None
+        rules: list[MapRule] = []
+        partition: Expr | None = None
+        seen_targets: set[str] = set()
+
+        while not self.accept(TokenType.RBRACE):
+            token = self.peek()
+            if token.is_keyword("source"):
+                self.advance()
+                source = self.expect_ident()
+                self.expect(TokenType.SEMI)
+            elif token.is_keyword("target"):
+                self.advance()
+                target = self.expect_ident()
+                self.expect(TokenType.SEMI)
+            elif token.is_keyword("key"):
+                self.advance()
+                key_source = self.expect_ident()
+                self.expect(TokenType.MAPSTO)
+                key_target = self.expect_ident()
+                self.expect(TokenType.SEMI)
+            elif token.is_keyword("originator"):
+                self.advance()
+                originator = self.expect_ident()
+                self.expect(TokenType.SEMI)
+            elif token.is_keyword("map"):
+                self.advance()
+                rule_target = self.expect_ident()
+                if rule_target.lower() in seen_targets:
+                    raise LexpressSyntaxError(
+                        f"duplicate map rule for {rule_target!r} in mapping {name!r}",
+                        token.line,
+                        token.column,
+                    )
+                seen_targets.add(rule_target.lower())
+                self.expect(TokenType.ASSIGN)
+                expr = self.parse_expr()
+                self.expect(TokenType.SEMI)
+                rules.append(MapRule(rule_target, expr))
+            elif token.is_keyword("partition"):
+                self.advance()
+                self.expect_keyword("when")
+                partition = self.parse_expr()
+                self.expect(TokenType.SEMI)
+            else:
+                raise self.error("expected a mapping statement")
+
+        if source is None or target is None:
+            raise LexpressSyntaxError(
+                f"mapping {name!r} must declare both 'source' and 'target'"
+            )
+        return MappingDecl(
+            name=name,
+            source=source,
+            target=target,
+            key_source=key_source,
+            key_target=key_target,
+            originator=originator,
+            rules=tuple(rules),
+            partition=partition,
+        )
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept_keyword("or"):
+            left = BoolOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept_keyword("and"):
+            left = BoolOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return NotOp(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_primary()
+        if self.accept(TokenType.EQEQ):
+            return Compare("==", left, self.parse_primary())
+        if self.accept(TokenType.NEQ):
+            return Compare("!=", left, self.parse_primary())
+        return left
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.text)
+        if token.is_keyword("null"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return Literal(False)
+        if token.type is TokenType.GROUP:
+            self.advance()
+            return GroupRef(int(token.text))
+        if token.is_keyword("value"):
+            self.advance()
+            return ValueRef()
+        if token.is_keyword("match"):
+            return self.parse_match()
+        if token.is_keyword("table"):
+            return self.parse_table()
+        if token.is_keyword("each"):
+            return self.parse_each()
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.IDENT:
+            self.advance()
+            if self.peek().type is TokenType.LPAREN:
+                return self.parse_call(token.text)
+            return AttrRef(token.text)
+        raise self.error("expected an expression")
+
+    def parse_call(self, function: str) -> Expr:
+        self.expect(TokenType.LPAREN)
+        args: list[Expr] = []
+        if self.peek().type is not TokenType.RPAREN:
+            args.append(self.parse_expr())
+            while self.accept(TokenType.COMMA):
+                args.append(self.parse_expr())
+        self.expect(TokenType.RPAREN)
+        return Call(function, tuple(args))
+
+    def parse_match(self) -> Expr:
+        self.expect_keyword("match")
+        subject = self.parse_primary()
+        self.expect(TokenType.LBRACE)
+        arms: list[MatchArm] = []
+        saw_wildcard = False
+        while not self.accept(TokenType.RBRACE):
+            token = self.peek()
+            if token.type is TokenType.REGEX:
+                self.advance()
+                pattern: str | None = token.text
+                literal = False
+            elif token.type is TokenType.STRING:
+                self.advance()
+                pattern = token.text
+                literal = True
+            elif token.type is TokenType.UNDERSCORE:
+                self.advance()
+                pattern = None
+                literal = False
+                saw_wildcard = True
+            else:
+                raise self.error("expected a regex, string, or '_' pattern")
+            self.expect(TokenType.ARROW)
+            body = self.parse_expr()
+            self.expect(TokenType.SEMI)
+            arms.append(MatchArm(pattern, body, literal))
+            if saw_wildcard and self.peek().type is not TokenType.RBRACE:
+                raise self.error("'_' must be the last match arm")
+        if not arms:
+            raise self.error("match expression needs at least one arm")
+        return Match(subject, tuple(arms))
+
+    def parse_table(self) -> Expr:
+        self.expect_keyword("table")
+        subject = self.parse_primary()
+        self.expect(TokenType.LBRACE)
+        entries: list[TableEntry] = []
+        default: Expr | None = None
+        while not self.accept(TokenType.RBRACE):
+            if self.accept_keyword("default"):
+                self.expect(TokenType.ARROW)
+                default = self.parse_expr()
+                self.expect(TokenType.SEMI)
+                if self.peek().type is not TokenType.RBRACE:
+                    raise self.error("'default' must be the last table entry")
+                continue
+            key = self.expect(TokenType.STRING).text
+            self.expect(TokenType.ARROW)
+            body = self.parse_expr()
+            self.expect(TokenType.SEMI)
+            entries.append(TableEntry(key, body))
+        return Table(subject, tuple(entries), default)
+
+    def parse_each(self) -> Expr:
+        self.expect_keyword("each")
+        attribute = self.expect_ident()
+        self.expect(TokenType.ARROW)
+        body = self.parse_expr()
+        return Each(attribute, body)
+
+
+def parse(source: str) -> Description:
+    """Parse lexpress source text into a :class:`Description`."""
+    return Parser(tokenize(source)).parse_description()

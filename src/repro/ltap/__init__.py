@@ -1,0 +1,47 @@
+"""LTAP — the Lightweight Trigger Access Process.
+
+A gateway that "pretends to be an LDAP server" and adds the active
+functionality LDAP lacks: triggers, per-entry locking, persistent
+connections to trigger action servers, and a quiesce facility for isolated
+synchronization sequences (paper sections 4.3 and 5.1).
+"""
+
+from .acl import AccessControl, AclRule, Rights, Subject
+from .connection import (
+    ActionConnection,
+    ConnectionClosedError,
+    ConnectionManager,
+    PersistentConnection,
+    SingleShotConnection,
+)
+from .gateway import SUPPRESS_TRIGGERS, LtapGateway, Quiesce
+from .locks import EntryLock, LockManager
+from .triggers import (
+    ALL_OPS,
+    Trigger,
+    TriggerEvent,
+    TriggerRegistry,
+    TriggerTiming,
+)
+
+__all__ = [
+    "ALL_OPS",
+    "AccessControl",
+    "AclRule",
+    "Rights",
+    "Subject",
+    "ActionConnection",
+    "ConnectionClosedError",
+    "ConnectionManager",
+    "EntryLock",
+    "LockManager",
+    "LtapGateway",
+    "PersistentConnection",
+    "Quiesce",
+    "SUPPRESS_TRIGGERS",
+    "SingleShotConnection",
+    "Trigger",
+    "TriggerEvent",
+    "TriggerRegistry",
+    "TriggerTiming",
+]

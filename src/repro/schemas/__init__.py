@@ -1,0 +1,36 @@
+"""The MetaComm integrated schema and standard mapping library."""
+
+from .integrated import (
+    DEFINITY_ATTRIBUTES,
+    MESSAGING_ATTRIBUTES,
+    METACOMM_ATTRIBUTES,
+    PERSON_CLASSES,
+    build_integrated_schema,
+    person_entry,
+    uses_messaging,
+    uses_pbx,
+)
+from .mappings import (
+    DEFAULT_PHONE_PREFIX,
+    render_mp_pair,
+    render_pbx_pair,
+    standard_mappings,
+)
+from .x500 import STANDARD_ATTRIBUTES, build_standard_schema
+
+__all__ = [
+    "DEFAULT_PHONE_PREFIX",
+    "DEFINITY_ATTRIBUTES",
+    "MESSAGING_ATTRIBUTES",
+    "METACOMM_ATTRIBUTES",
+    "PERSON_CLASSES",
+    "STANDARD_ATTRIBUTES",
+    "build_integrated_schema",
+    "build_standard_schema",
+    "person_entry",
+    "render_mp_pair",
+    "render_pbx_pair",
+    "standard_mappings",
+    "uses_messaging",
+    "uses_pbx",
+]

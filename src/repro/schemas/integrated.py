@@ -1,0 +1,147 @@
+"""The MetaComm integrated schema.
+
+Section 5.2 describes the design the team settled on after the lack of
+LDAP transactions killed the child-entry approach:
+
+* one **auxiliary** object class per device, carrying the user's
+  device-specific attributes directly on the person entry so every
+  read/write unit is a single object;
+* **unique attribute names** per auxiliary class (``definityExtension``,
+  ``mpMailboxId``, ...) so fields can be attributed to their class;
+* auxiliary classes have **no mandatory attributes** (LDAP forbids it), so
+  the presence of ``definityUser`` only means the person *may* use a PBX —
+  code must check the extension field itself.
+
+The bookkeeping attribute ``lastUpdater`` implements section 5.4's
+Originator scheme.
+"""
+
+from __future__ import annotations
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.schema import AttributeType, ClassKind, ObjectClass, Schema
+from .x500 import STANDARD_ATTRIBUTES, define_standard_classes
+
+#: Attributes added for the Definity auxiliary class — names are unique to
+#: the class, per section 5.2.
+DEFINITY_ATTRIBUTES = (
+    AttributeType("definityExtension"),
+    AttributeType("definityName"),
+    AttributeType("definityRoom"),
+    AttributeType("definityBuilding"),
+    AttributeType("definityPort"),
+    AttributeType("definityCOR"),
+    AttributeType("definityCOS"),
+    AttributeType("definityType"),
+    AttributeType("definityCoveragePath"),
+    AttributeType("definityPbxName", single_value=True),
+)
+
+#: Attributes added for the messaging-platform auxiliary class.
+MESSAGING_ATTRIBUTES = (
+    AttributeType("mpMailboxId", single_value=True),
+    AttributeType("mpSubscriberName"),
+    AttributeType("mpCOS"),
+    AttributeType("mpLanguage"),
+)
+
+#: MetaComm bookkeeping.
+METACOMM_ATTRIBUTES = (
+    AttributeType("lastUpdater", single_value=True),
+    AttributeType("metacommError"),
+    AttributeType("metacommErrorTime"),
+    AttributeType("metacommErrorTarget"),
+)
+
+
+def build_integrated_schema(strict: bool = True) -> Schema:
+    """The full MetaComm schema: X.500 classes + device auxiliaries."""
+    schema = Schema(strict=strict)
+    for group in (
+        STANDARD_ATTRIBUTES,
+        DEFINITY_ATTRIBUTES,
+        MESSAGING_ATTRIBUTES,
+        METACOMM_ATTRIBUTES,
+    ):
+        for attribute in group:
+            schema.define_attribute(attribute)
+    define_standard_classes(schema)
+
+    schema.define_class(
+        ObjectClass(
+            "definityUser",
+            kind=ClassKind.AUXILIARY,
+            sup="top",
+            may=tuple(a.name for a in DEFINITY_ATTRIBUTES),
+            description="User data held in a Definity PBX (one aux class "
+            "per device, section 5.2)",
+        )
+    )
+    schema.define_class(
+        ObjectClass(
+            "messagingUser",
+            kind=ClassKind.AUXILIARY,
+            sup="top",
+            may=tuple(a.name for a in MESSAGING_ATTRIBUTES),
+            description="User data held in the voice messaging platform",
+        )
+    )
+    schema.define_class(
+        ObjectClass(
+            "metacommObject",
+            kind=ClassKind.AUXILIARY,
+            sup="top",
+            may=tuple(a.name for a in METACOMM_ATTRIBUTES),
+            description="MetaComm bookkeeping (Originator, error log)",
+        )
+    )
+    # Error-log entries (section 4.4: failures are logged into the directory).
+    schema.define_class(
+        ObjectClass(
+            "metacommErrorEntry",
+            sup="top",
+            must=("cn",),
+            may=("metacommError", "metacommErrorTime", "metacommErrorTarget",
+                 "description"),
+        )
+    )
+    return schema
+
+
+#: Object classes every MetaComm-managed person entry carries.
+PERSON_CLASSES = (
+    "top",
+    "person",
+    "organizationalPerson",
+    "inetOrgPerson",
+    "definityUser",
+    "messagingUser",
+    "metacommObject",
+)
+
+
+def person_entry(
+    dn: DN | str,
+    cn: str,
+    sn: str,
+    **attributes: str | list[str],
+) -> Entry:
+    """Build a schema-complete person entry for the integrated DIT."""
+    attrs: dict[str, object] = {
+        "objectClass": list(PERSON_CLASSES),
+        "cn": cn,
+        "sn": sn,
+    }
+    attrs.update(attributes)
+    return Entry(dn, attrs)  # type: ignore[arg-type]
+
+
+def uses_pbx(entry: Entry) -> bool:
+    """Section 5.2: the auxiliary class only says the person *may* use the
+    device — the extension field decides."""
+    return entry.has("definityExtension")
+
+
+def uses_messaging(entry: Entry) -> bool:
+    return entry.has("mpMailboxId")

@@ -1,0 +1,89 @@
+"""Standard X.500/LDAP schema elements.
+
+The subset of the X.500 person/organization class family that MetaComm's
+integrated schema extends (paper section 4: "The integrated schema of
+MetaComm is an extension of a standard X.500 class that describes
+people").
+"""
+
+from __future__ import annotations
+
+from ..ldap.schema import AttributeType, ClassKind, ObjectClass, Schema
+
+STANDARD_ATTRIBUTES = (
+    AttributeType("cn", aliases=("commonName",)),
+    AttributeType("sn", aliases=("surname",)),
+    AttributeType("givenName"),
+    AttributeType("displayName", single_value=True),
+    AttributeType("o", aliases=("organizationName",)),
+    AttributeType("ou", aliases=("organizationalUnitName",)),
+    AttributeType("telephoneNumber"),
+    AttributeType("facsimileTelephoneNumber"),
+    AttributeType("mail", aliases=("rfc822Mailbox",)),
+    AttributeType("uid", aliases=("userid",)),
+    AttributeType("userPassword"),
+    AttributeType("roomNumber"),
+    AttributeType("departmentNumber"),
+    AttributeType("employeeNumber", single_value=True),
+    AttributeType("employeeType"),
+    AttributeType("title"),
+    AttributeType("description"),
+    AttributeType("seeAlso"),
+    AttributeType("postalAddress"),
+    AttributeType("l", aliases=("localityName",)),
+    AttributeType("street"),
+    AttributeType("manager"),
+)
+
+
+def define_standard_classes(schema: Schema) -> None:
+    schema.define_class(ObjectClass("top", kind=ClassKind.ABSTRACT))
+    schema.define_class(
+        ObjectClass(
+            "person",
+            sup="top",
+            must=("cn", "sn"),
+            may=("telephoneNumber", "userPassword", "description", "seeAlso"),
+        )
+    )
+    schema.define_class(
+        ObjectClass(
+            "organizationalPerson",
+            sup="person",
+            may=("ou", "title", "roomNumber", "postalAddress", "l", "street",
+                 "facsimileTelephoneNumber"),
+        )
+    )
+    schema.define_class(
+        ObjectClass(
+            "inetOrgPerson",
+            sup="organizationalPerson",
+            may=(
+                "givenName",
+                "displayName",
+                "mail",
+                "uid",
+                "employeeNumber",
+                "employeeType",
+                "departmentNumber",
+                "manager",
+            ),
+        )
+    )
+    schema.define_class(
+        ObjectClass("organization", sup="top", must=("o",), may=("description", "l"))
+    )
+    schema.define_class(
+        ObjectClass(
+            "organizationalUnit", sup="top", must=("ou",), may=("description", "l")
+        )
+    )
+
+
+def build_standard_schema(strict: bool = True) -> Schema:
+    """A Schema with the plain X.500 classes only."""
+    schema = Schema(strict=strict)
+    for attribute in STANDARD_ATTRIBUTES:
+        schema.define_attribute(attribute)
+    define_standard_classes(schema)
+    return schema

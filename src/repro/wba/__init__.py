@@ -1,0 +1,14 @@
+"""Web-Based Administration: the single point of administration of Figure 1."""
+
+from .app import UserRow, WebAdmin
+from .forms import FIELDS_BY_NAME, USER_FORM, FormField, FormValidationError, validate
+
+__all__ = [
+    "FIELDS_BY_NAME",
+    "FormField",
+    "FormValidationError",
+    "USER_FORM",
+    "UserRow",
+    "WebAdmin",
+    "validate",
+]

@@ -1,0 +1,95 @@
+"""Form definitions for the Web-Based Administration tool.
+
+The WBA presents one integrated user form; each field maps to an attribute
+of the integrated LDAP schema.  Validation here is deliberately friendlier
+than the devices' own (the paper's point: the web interface "compares
+favorably with proprietary interfaces")."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+
+class FormValidationError(ValueError):
+    """One or more form fields failed validation."""
+
+    def __init__(self, problems: dict[str, str]):
+        super().__init__("; ".join(f"{k}: {v}" for k, v in sorted(problems.items())))
+        self.problems = problems
+
+
+@dataclass(frozen=True)
+class FormField:
+    """One field of the user form."""
+
+    name: str
+    label: str
+    attribute: str  # integrated-schema attribute this field reads/writes
+    required: bool = False
+    read_only: bool = False
+    validator: Callable[[str], str | None] | None = None
+
+
+def _extension_ok(value: str) -> str | None:
+    if not re.fullmatch(r"[0-9]{3,5}", value):
+        return "extension must be 3-5 digits"
+    return None
+
+
+def _cos_ok(value: str) -> str | None:
+    if not re.fullmatch(r"[0-9]{1,2}", value):
+        return "class of service must be 1-2 digits"
+    return None
+
+
+def _phone_ok(value: str) -> str | None:
+    if not re.fullmatch(r"\+?[0-9 ()\-]{7,20}", value):
+        return "telephone number looks malformed"
+    return None
+
+
+USER_FORM: tuple[FormField, ...] = (
+    FormField("full_name", "Full name", "cn", required=True),
+    FormField("surname", "Surname", "sn", required=True),
+    FormField("mail", "E-mail", "mail"),
+    FormField("phone", "Telephone number", "telephoneNumber", validator=_phone_ok),
+    FormField("extension", "PBX extension", "definityExtension",
+              validator=_extension_ok),
+    FormField("room", "Room", "definityRoom"),
+    FormField("building", "Building", "definityBuilding"),
+    FormField("cos", "Class of service", "definityCOS", validator=_cos_ok),
+    FormField("mailbox", "Voice mailbox", "mpMailboxId", read_only=True),
+    FormField("updated_by", "Last updated by", "lastUpdater", read_only=True),
+)
+
+FIELDS_BY_NAME = {f.name: f for f in USER_FORM}
+
+
+def validate(values: dict[str, str], require_mandatory: bool = True) -> dict[str, str]:
+    """Validate submitted values; returns the cleaned dict or raises."""
+    problems: dict[str, str] = {}
+    cleaned: dict[str, str] = {}
+    for name, raw in values.items():
+        form_field = FIELDS_BY_NAME.get(name)
+        if form_field is None:
+            problems[name] = "unknown form field"
+            continue
+        if form_field.read_only:
+            problems[name] = "field is read-only"
+            continue
+        value = raw.strip()
+        if value and form_field.validator is not None:
+            problem = form_field.validator(value)
+            if problem:
+                problems[name] = problem
+                continue
+        cleaned[name] = value
+    if require_mandatory:
+        for form_field in USER_FORM:
+            if form_field.required and not cleaned.get(form_field.name):
+                problems.setdefault(form_field.name, "required")
+    if problems:
+        raise FormValidationError(problems)
+    return cleaned

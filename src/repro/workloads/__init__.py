@@ -1,0 +1,32 @@
+"""Synthetic workload generation (the paper's data substitute)."""
+
+from .names import GIVEN_NAMES, ORGANIZATIONS, SURNAMES, NameGenerator
+from .population import (
+    PersonSpec,
+    make_population,
+    populate_via_ldap,
+    populate_via_pbx,
+)
+from .updates import (
+    UpdateEvent,
+    UpdatePath,
+    apply_event,
+    apply_stream,
+    make_stream,
+)
+
+__all__ = [
+    "GIVEN_NAMES",
+    "NameGenerator",
+    "ORGANIZATIONS",
+    "PersonSpec",
+    "SURNAMES",
+    "UpdateEvent",
+    "UpdatePath",
+    "apply_event",
+    "apply_stream",
+    "make_population",
+    "make_stream",
+    "populate_via_ldap",
+    "populate_via_pbx",
+]

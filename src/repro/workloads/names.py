@@ -1,0 +1,72 @@
+"""Deterministic synthetic name/identity generation.
+
+The paper's evaluation ran against real corporate data we do not have; the
+workload generator substitutes a seeded synthetic population with the same
+shape: people with names (including the dirty variants lexpress patterns
+exist for), extensions drawn from PBX dial plans, and organizational
+placement.  Everything is seeded — benchmarks are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+
+GIVEN_NAMES = (
+    "John", "Jill", "Pat", "Tim", "Ana", "Wei", "Ravi", "Maria", "Luke",
+    "Qian", "Daniel", "Joann", "Juliana", "Lalit", "Hector", "Gavin",
+    "Julian", "Robert", "Nina", "Omar", "Sofia", "Yuki", "Ivan", "Lena",
+)
+
+SURNAMES = (
+    "Doe", "Lu", "Smith", "Dickens", "Freire", "Lieuwen", "Ordille",
+    "Garg", "Holder", "Urroz", "Michael", "Orbach", "Tucker", "Ye",
+    "Arlein", "Chen", "Patel", "Garcia", "Kim", "Novak", "Okafor",
+)
+
+ORGANIZATIONS = ("Marketing", "Accounting", "R&D", "DEN Group", "Operations")
+
+
+class NameGenerator:
+    """Seeded generator of unique person identities."""
+
+    def __init__(self, seed: int = 1999):
+        self.random = random.Random(seed)
+        self._used: set[str] = set()
+
+    def full_name(self) -> tuple[str, str]:
+        """A unique (given, surname) pair; suffixes disambiguate overflow."""
+        for _ in range(10_000):
+            given = self.random.choice(GIVEN_NAMES)
+            surname = self.random.choice(SURNAMES)
+            key = f"{given} {surname}"
+            if key not in self._used:
+                self._used.add(key)
+                return given, surname
+        serial = len(self._used) + 1
+        given = self.random.choice(GIVEN_NAMES)
+        surname = f"{self.random.choice(SURNAMES)}{serial}"
+        self._used.add(f"{given} {surname}")
+        return given, surname
+
+    def pbx_name(self, given: str, surname: str) -> str:
+        """The Definity 'Last, First' convention — sometimes dirty."""
+        roll = self.random.random()
+        if roll < 0.85:
+            return f"{surname}, {given}"
+        if roll < 0.92:
+            return f"{surname},{given}"  # missing space: dirty but mappable
+        if roll < 0.97:
+            return f"{given} {surname}"  # entered the wrong way round
+        return surname  # surname only
+
+    def organization(self) -> str:
+        return self.random.choice(ORGANIZATIONS)
+
+    def room(self) -> str:
+        return (
+            f"{self.random.randint(1, 6)}"
+            f"{self.random.choice('ABCDEF')}-{self.random.randint(100, 699)}"
+        )
+
+    def cos(self) -> str:
+        return str(self.random.randint(1, 4))

@@ -1,0 +1,97 @@
+"""Population builders: load N users into a MetaComm deployment.
+
+Two entry paths, matching the two arrows of Figure 1:
+
+* :func:`populate_via_ldap` — users created through LTAP (the WBA path);
+* :func:`populate_via_pbx` — stations administered on the switch first
+  (legacy reality), then pulled in by synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metacomm import MetaComm
+from ..schemas.integrated import PERSON_CLASSES
+from .names import NameGenerator
+
+
+@dataclass(frozen=True)
+class PersonSpec:
+    """One synthetic person, ready for either entry path."""
+
+    given: str
+    surname: str
+    cn: str
+    pbx_name: str
+    extension: str
+    room: str
+    cos: str
+    organization: str
+
+
+def make_population(
+    count: int,
+    seed: int = 1999,
+    extension_start: int = 4000,
+) -> list[PersonSpec]:
+    """Generate *count* unique synthetic people."""
+    names = NameGenerator(seed)
+    people = []
+    for i in range(count):
+        given, surname = names.full_name()
+        people.append(
+            PersonSpec(
+                given=given,
+                surname=surname,
+                cn=f"{given} {surname}",
+                pbx_name=f"{surname}, {given}",
+                extension=str(extension_start + i),
+                room=names.room(),
+                cos=names.cos(),
+                organization=names.organization(),
+            )
+        )
+    return people
+
+
+def populate_via_ldap(system: MetaComm, people: list[PersonSpec]) -> int:
+    """Create person entries through LTAP; devices follow automatically."""
+    conn = system.connection()
+    created = 0
+    for person in people:
+        conn.add(
+            system.suffix.child(f"cn={person.cn}"),
+            {
+                "objectClass": list(PERSON_CLASSES),
+                "cn": person.cn,
+                "sn": person.surname,
+                "givenName": person.given,
+                "definityExtension": person.extension,
+                "definityRoom": person.room,
+                "definityCOS": person.cos,
+            },
+        )
+        created += 1
+    return created
+
+
+def populate_via_pbx(
+    system: MetaComm, people: list[PersonSpec], pbx_name: str | None = None
+) -> int:
+    """Administer stations directly on the switch (no MetaComm involved),
+    e.g. to set up an initial-load scenario.  Writes behind the filter's
+    back so no DDU notifications fire."""
+    pbx = system.pbx(pbx_name)
+    created = 0
+    for person in people:
+        if not pbx.manages_extension(person.extension):
+            continue
+        pbx._records[person.extension] = {
+            "Extension": person.extension,
+            "Name": person.pbx_name[:27],
+            "Room": person.room[:10],
+            "COS": person.cos,
+        }
+        created += 1
+    return created

@@ -1,0 +1,105 @@
+"""Update-stream generation: mixed LDAP / DDU workloads.
+
+The paper's consistency argument (section 4.4) rests on a workload
+property: "a small number of DDUs are made against any given entry per
+day", so LDAP-originated and device-originated updates to the same entry
+rarely race.  The stream generator makes that property a dial: the
+``ddu_fraction`` and ``conflict_probability`` parameters let experiments
+sweep from the paper's regime to the adversarial one the paper says the
+technique "would not work well" in.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from ..core.metacomm import MetaComm
+from ..ldap.protocol import Modification
+from .population import PersonSpec
+
+
+class UpdatePath(enum.Enum):
+    LDAP = "ldap"  # through LTAP (WBA, browser, ...)
+    DDU = "ddu"    # directly on the device (craft terminal)
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One update in a generated stream."""
+
+    path: UpdatePath
+    person: PersonSpec
+    field: str       # "room" | "cos" | "building"
+    value: str
+
+
+_FIELDS = ("room", "cos", "building")
+
+_LDAP_ATTR = {"room": "definityRoom", "cos": "definityCOS", "building": "definityBuilding"}
+_PBX_FIELD = {"room": "Room", "cos": "COS", "building": "Building"}
+
+
+def make_stream(
+    people: list[PersonSpec],
+    count: int,
+    ddu_fraction: float = 0.2,
+    conflict_probability: float = 0.0,
+    seed: int = 7,
+) -> list[UpdateEvent]:
+    """Generate *count* update events over *people*.
+
+    ``conflict_probability`` is the chance that an event targets the same
+    person as the previous event (modelling racing update paths);
+    otherwise targets are drawn uniformly."""
+    rng = random.Random(seed)
+    events: list[UpdateEvent] = []
+    previous: PersonSpec | None = None
+    for i in range(count):
+        if previous is not None and rng.random() < conflict_probability:
+            person = previous
+        else:
+            person = rng.choice(people)
+        path = UpdatePath.DDU if rng.random() < ddu_fraction else UpdatePath.LDAP
+        field = rng.choice(_FIELDS)
+        if field == "cos":
+            value = str(rng.randint(1, 9))
+        elif field == "room":
+            value = f"{rng.randint(1, 9)}{rng.choice('ABC')}-{rng.randint(100, 999)}"
+        else:
+            value = rng.choice(("MH", "HO", "WST", "NR"))
+        events.append(UpdateEvent(path, person, field, value))
+        previous = person
+    return events
+
+
+def apply_event(system: MetaComm, event: UpdateEvent) -> None:
+    """Apply one event through its designated path."""
+    if event.path is UpdatePath.LDAP:
+        conn = system.connection()
+        dn = system.suffix.child(f"cn={event.person.cn}")
+        conn.modify(
+            dn, [Modification.replace(_LDAP_ATTR[event.field], event.value)]
+        )
+    else:
+        pbx = _pbx_for(system, event.person.extension)
+        pbx.modify(
+            event.person.extension,
+            {_PBX_FIELD[event.field]: event.value},
+            agent="craft",
+        )
+
+
+def _pbx_for(system: MetaComm, extension: str):
+    for pbx in system.pbxes.values():
+        if pbx.manages_extension(extension):
+            return pbx
+    raise KeyError(f"no PBX manages extension {extension}")
+
+
+def apply_stream(system: MetaComm, events: list[UpdateEvent]) -> int:
+    """Apply a whole stream; returns how many events were applied."""
+    for event in events:
+        apply_event(system, event)
+    return len(events)

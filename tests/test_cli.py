@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_default_is_demo(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "consistent: True" in out
+        assert "station" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "MB-000001" in out
+
+    def test_tree_emits_figure2_ldif(self, capsys):
+        assert main(["tree"]) == 0
+        out = capsys.readouterr().out
+        for dn in (
+            "cn=John Doe,o=Marketing,o=Lucent",
+            "cn=Pat Smith,o=Accounting,o=Lucent",
+            "cn=Tim Dickens,o=R&D,o=Lucent",
+            "cn=Jill Lu,o=DEN Group,o=Lucent",
+        ):
+            assert f"dn: {dn}" in out
+
+    def test_mappings_shows_source_and_bytecode(self, capsys):
+        assert main(["mappings"]) == 0
+        out = capsys.readouterr().out
+        assert "mapping pbx_to_ldap" in out
+        assert "MATCH_RE" in out  # the cn rule's compiled pattern match
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "--benchmark-only" in capsys.readouterr().out
+
+    def test_unknown_command_prints_usage(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "Commands" in capsys.readouterr().out

@@ -1,0 +1,303 @@
+"""Tests for the legacy device simulators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices import (
+    DefinityPbx,
+    Device,
+    DeviceUnavailableError,
+    DuplicateRecordError,
+    FieldSpec,
+    InvalidFieldError,
+    MessagingPlatform,
+    NoSuchRecordError,
+    OssiTerminal,
+    partition_expression,
+)
+
+
+@pytest.fixture
+def pbx():
+    return DefinityPbx("pbx-mh", extension_prefixes=("4", "5"))
+
+
+@pytest.fixture
+def mp():
+    return MessagingPlatform("mp-mh")
+
+
+class TestGenericDevice:
+    def test_unknown_field_rejected(self, pbx):
+        with pytest.raises(InvalidFieldError):
+            pbx.add({"Extension": "4100", "Frobnicator": "x"})
+
+    def test_silent_truncation_weak_typing(self, pbx):
+        record = pbx.add_station("4100", Name="X" * 100)
+        assert len(record["Name"]) == 27  # Definity name field width
+
+    def test_values_coerced_to_strings(self, pbx):
+        record = pbx.add({"Extension": 4100, "COS": 1})
+        assert record["Extension"] == "4100"
+        assert record["COS"] == "1"
+
+    def test_required_field_enforced_on_add(self):
+        device = Device("d", "k", [FieldSpec("k", required=True), FieldSpec("v")])
+        with pytest.raises(InvalidFieldError):
+            device.add({"v": "only"})
+
+    def test_duplicate_add_rejected(self, pbx):
+        pbx.add_station("4100")
+        with pytest.raises(DuplicateRecordError):
+            pbx.add_station("4100")
+
+    def test_modify_missing_rejected(self, pbx):
+        with pytest.raises(NoSuchRecordError):
+            pbx.change_station("4999", Name="X")
+
+    def test_modify_is_atomic(self, pbx):
+        pbx.add_station("4100", Name="A", Room="1")
+        with pytest.raises(InvalidFieldError):
+            pbx.change_station("4100", Room="2", COR="not-numeric")
+        assert pbx.station("4100")["Room"] == "1"
+
+    def test_modify_removes_field_with_none(self, pbx):
+        pbx.add_station("4100", Room="1A")
+        record = pbx.change_station("4100", Room=None)
+        assert "Room" not in record
+
+    def test_cannot_remove_key_field(self, pbx):
+        pbx.add_station("4100")
+        with pytest.raises(InvalidFieldError):
+            pbx.change_station("4100", Extension=None)
+
+    def test_key_change_rekeys_record(self, pbx):
+        pbx.add_station("4100", Name="Mover")
+        pbx.change_station("4100", Extension="4200")
+        assert not pbx.contains("4100")
+        assert pbx.station("4200")["Name"] == "Mover"
+
+    def test_key_change_collision_rejected(self, pbx):
+        pbx.add_station("4100")
+        pbx.add_station("4200")
+        with pytest.raises(DuplicateRecordError):
+            pbx.change_station("4100", Extension="4200")
+
+    def test_delete(self, pbx):
+        pbx.add_station("4100")
+        pbx.remove_station("4100")
+        assert not pbx.contains("4100")
+        with pytest.raises(NoSuchRecordError):
+            pbx.remove_station("4100")
+
+    def test_dump_and_size(self, pbx):
+        for ext in ("4100", "4101", "4102"):
+            pbx.add_station(ext)
+        assert pbx.size() == 3
+        assert {r["Extension"] for r in pbx.dump()} == {"4100", "4101", "4102"}
+
+    def test_get_returns_copy(self, pbx):
+        pbx.add_station("4100", Name="Orig")
+        record = pbx.station("4100")
+        record["Name"] = "Tampered"
+        assert pbx.station("4100")["Name"] == "Orig"
+
+    def test_unavailable_device_raises(self, pbx):
+        pbx.add_station("4100")
+        pbx.available = False
+        with pytest.raises(DeviceUnavailableError):
+            pbx.station("4100")
+        with pytest.raises(DeviceUnavailableError):
+            pbx.add_station("4101")
+        pbx.available = True
+        assert pbx.station("4100")
+
+    def test_fault_injector(self, pbx):
+        calls = []
+
+        def boom(op, key):
+            calls.append((op, key))
+            raise InvalidFieldError("injected")
+
+        pbx.fault_injector = boom
+        with pytest.raises(InvalidFieldError):
+            pbx.add_station("4100")
+        assert calls == [("add", "4100")]
+        assert pbx.size() == 0
+
+
+class TestNotifications:
+    def test_add_modify_delete_notify(self, pbx):
+        seen = []
+        pbx.add_listener(seen.append)
+        pbx.add_station("4100", Name="A")
+        pbx.change_station("4100", Name="B")
+        pbx.remove_station("4100")
+        assert [n.op for n in seen] == ["add", "modify", "delete"]
+        assert seen[1].before["Name"] == "A"
+        assert seen[1].after["Name"] == "B"
+        assert seen[2].after is None
+
+    def test_agent_identifies_session(self, pbx):
+        seen = []
+        pbx.add_listener(seen.append)
+        pbx.add_station("4100", agent="craft")
+        pbx.change_station("4100", agent="um", Name="X")
+        assert [n.agent for n in seen] == ["craft", "um"]
+
+    def test_failed_operation_does_not_notify(self, pbx):
+        seen = []
+        pbx.add_listener(seen.append)
+        with pytest.raises(InvalidFieldError):
+            pbx.add_station("9100")  # outside dial plan
+        assert not seen
+
+    def test_remove_listener(self, pbx):
+        seen = []
+        pbx.add_listener(seen.append)
+        pbx.remove_listener(seen.append)
+        pbx.add_station("4100")
+        assert not seen
+
+
+class TestDefinity:
+    def test_dial_plan_enforced(self, pbx):
+        with pytest.raises(InvalidFieldError):
+            pbx.add_station("9100")
+        pbx.add_station("5100")  # second prefix is fine
+
+    def test_dial_plan_enforced_on_rekey(self, pbx):
+        pbx.add_station("4100")
+        with pytest.raises(InvalidFieldError):
+            pbx.change_station("4100", Extension="9100")
+
+    def test_extension_validation(self, pbx):
+        with pytest.raises(InvalidFieldError):
+            pbx.add_station("41")  # too short
+        with pytest.raises(InvalidFieldError):
+            pbx.add_station("41x0")
+
+    def test_port_validation(self, pbx):
+        pbx.add_station("4100", Port="01A0304")
+        with pytest.raises(InvalidFieldError):
+            pbx.add_station("4101", Port="bogus")
+
+    def test_partition_expression(self, pbx):
+        expr = partition_expression(pbx)
+        assert 'prefix(Extension, "4")' in expr
+        assert " or " in expr
+
+    def test_manages_extension(self, pbx):
+        assert pbx.manages_extension("4100")
+        assert not pbx.manages_extension("9100")
+
+
+class TestMessagingPlatform:
+    def test_mailbox_id_generated_and_unique(self, mp):
+        a = mp.add_subscriber("+1 908 582 4100")
+        b = mp.add_subscriber("+1 908 582 4101")
+        assert a["MailboxId"] != b["MailboxId"]
+        assert a["MailboxId"].startswith("MB-")
+
+    def test_generated_field_not_writable(self, mp):
+        with pytest.raises(InvalidFieldError):
+            mp.add({"TelephoneNumber": "+1", "MailboxId": "MB-999999"})
+        mp.add_subscriber("+1 908 582 4100")
+        with pytest.raises(InvalidFieldError):
+            mp.change_subscriber("+1 908 582 4100", MailboxId="MB-000042")
+
+    def test_mailbox_survives_modify(self, mp):
+        record = mp.add_subscriber("+1 908 582 4100", SubscriberName="A")
+        updated = mp.change_subscriber("+1 908 582 4100", SubscriberName="B")
+        assert updated["MailboxId"] == record["MailboxId"]
+
+    def test_pin_validation(self, mp):
+        mp.add_subscriber("+1", PIN="1234")
+        with pytest.raises(InvalidFieldError):
+            mp.add_subscriber("+2", PIN="12")
+        with pytest.raises(InvalidFieldError):
+            mp.add_subscriber("+3", PIN="abcd")
+
+    def test_mailbox_of(self, mp):
+        record = mp.add_subscriber("+1 908 582 4100")
+        assert mp.mailbox_of("+1 908 582 4100") == record["MailboxId"]
+
+
+class TestOssiTerminal:
+    @pytest.fixture
+    def terminal(self, pbx):
+        return OssiTerminal(pbx, login="craft")
+
+    def test_add_and_display(self, terminal, pbx):
+        response = terminal.execute('add station 4100 name "Doe, John" room 2B-110')
+        assert response.ok
+        assert "Doe, John" in response.text
+        assert pbx.station("4100")["Room"] == "2B-110"
+
+    def test_change(self, terminal, pbx):
+        terminal.execute("add station 4100")
+        response = terminal.execute('change station 4100 name "Lu, Jill" cos 2')
+        assert response.ok
+        assert pbx.station("4100")["COS"] == "2"
+
+    def test_change_field_to_none_removes(self, terminal, pbx):
+        terminal.execute("add station 4100 room 2B")
+        terminal.execute("change station 4100 room none")
+        assert "Room" not in pbx.station("4100")
+
+    def test_remove(self, terminal, pbx):
+        terminal.execute("add station 4100")
+        response = terminal.execute("remove station 4100")
+        assert response.ok
+        assert not pbx.contains("4100")
+
+    def test_list(self, terminal):
+        terminal.execute('add station 4100 name "A"')
+        terminal.execute('add station 4101 name "B"')
+        response = terminal.execute("list station")
+        assert response.ok
+        assert "STATIONS: 2" in response.text
+        assert "4100" in response.text and "4101" in response.text
+
+    def test_legacy_error_codes(self, terminal):
+        assert "?NO-RECORD" in terminal.execute("display station 4999").text
+        terminal.execute("add station 4100")
+        assert "?DUPLICATE" in terminal.execute("add station 4100").text
+        assert "?IDENTIFIER" in terminal.execute("frob station 4100").text
+        assert "?FIELD" in terminal.execute("add station 4101 bogus x").text
+        assert "?SYNTAX" in terminal.execute('add station "unclosed').text
+
+    def test_agent_is_login(self, terminal, pbx):
+        seen = []
+        pbx.add_listener(seen.append)
+        terminal.execute("add station 4100")
+        assert seen[0].agent == "craft"
+
+    def test_history_kept(self, terminal):
+        terminal.execute("list station")
+        terminal.execute("display station 4100")
+        assert len(terminal.history) == 2
+
+
+@given(
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_name_field_never_exceeds_width(name):
+    pbx = DefinityPbx(extension_prefixes=("4",))
+    record = pbx.add_station("4100", Name=name)
+    assert len(record["Name"]) <= 27
+
+
+@given(st.lists(st.integers(min_value=4000, max_value=4999), min_size=1,
+                max_size=20, unique=True))
+def test_dump_round_trips_all_added_stations(extensions):
+    pbx = DefinityPbx(extension_prefixes=("4",))
+    for ext in extensions:
+        pbx.add_station(str(ext))
+    assert sorted(r["Extension"] for r in pbx.dump()) == sorted(
+        str(e) for e in extensions
+    )

@@ -1,0 +1,150 @@
+"""Tests for DN/RDN parsing, normalization and tree relations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap import DN, Ava, InvalidDnError, Rdn
+from repro.ldap.dn import escape_value
+
+
+class TestRdn:
+    def test_parse_single_ava(self):
+        rdn = Rdn.parse("cn=John Doe")
+        assert rdn.attribute == "cn"
+        assert rdn.value == "John Doe"
+
+    def test_parse_multi_ava(self):
+        rdn = Rdn.parse("cn=John Doe+telephoneNumber=1234")
+        assert len(rdn.avas) == 2
+        assert dict(rdn.items()) == {"cn": "John Doe", "telephoneNumber": "1234"}
+
+    def test_equality_is_case_insensitive(self):
+        assert Rdn.parse("CN=John Doe") == Rdn.parse("cn=john doe")
+
+    def test_equality_ignores_ava_order(self):
+        assert Rdn.parse("a=1+b=2") == Rdn.parse("b=2+a=1")
+
+    def test_hashable(self):
+        assert len({Rdn.parse("cn=A"), Rdn.parse("CN=a"), Rdn.parse("cn=B")}) == 2
+
+    def test_empty_rdn_rejected(self):
+        with pytest.raises(InvalidDnError):
+            Rdn.parse("")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(InvalidDnError):
+            Rdn.parse("cn=")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(InvalidDnError):
+            Rdn.parse("cn")
+
+    def test_str_round_trip(self):
+        rdn = Rdn.parse("cn=John Doe")
+        assert Rdn.parse(str(rdn)) == rdn
+
+
+class TestDn:
+    def test_parse_paper_example(self):
+        # The exact DN from Figure 2 of the paper.
+        dn = DN.parse("cn=John Doe, o=Marketing, o=Lucent")
+        assert len(dn) == 3
+        assert dn.rdn.value == "John Doe"
+        assert str(dn.parent()) == "o=Marketing,o=Lucent"
+
+    def test_leaf_to_root_order(self):
+        dn = DN.parse("cn=X,o=Y")
+        assert dn.rdns[0].attribute == "cn"
+        assert dn.rdns[1].attribute == "o"
+
+    def test_root(self):
+        root = DN.root()
+        assert root.is_root()
+        assert len(root) == 0
+        with pytest.raises(InvalidDnError):
+            root.parent()
+        with pytest.raises(InvalidDnError):
+            root.rdn
+
+    def test_child(self):
+        base = DN.parse("o=Lucent")
+        child = base.child("o=Marketing")
+        assert str(child) == "o=Marketing,o=Lucent"
+
+    def test_descendant_relations(self):
+        base = DN.parse("o=Lucent")
+        person = DN.parse("cn=John Doe,o=Marketing,o=Lucent")
+        assert person.is_descendant_of(base)
+        assert person.is_under(base)
+        assert not base.is_descendant_of(person)
+        assert base.is_under(base)
+        assert not base.is_descendant_of(base)
+
+    def test_descendant_requires_suffix_match(self):
+        assert not DN.parse("cn=A,o=Other").is_descendant_of(DN.parse("o=Lucent"))
+
+    def test_depth_below(self):
+        base = DN.parse("o=Lucent")
+        person = DN.parse("cn=J,o=M,o=Lucent")
+        assert person.depth_below(base) == 2
+        assert base.depth_below(base) == 0
+        with pytest.raises(ValueError):
+            DN.parse("o=Other").depth_below(base)
+
+    def test_case_insensitive_equality(self):
+        assert DN.parse("CN=John,O=Lucent") == DN.parse("cn=john, o=lucent")
+
+    def test_whitespace_insensitive(self):
+        assert DN.parse("cn=John Doe,o=Lucent") == DN.parse("cn=John  Doe , o=Lucent")
+
+    def test_escaped_comma_in_value(self):
+        dn = DN.parse(r"cn=Doe\, John,o=Lucent")
+        assert dn.rdn.value == "Doe, John"
+        assert len(dn) == 2
+
+    def test_escaped_plus(self):
+        rdn = Rdn.parse(r"cn=a\+b")
+        assert rdn.value == "a+b"
+        assert len(rdn.avas) == 1
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(InvalidDnError):
+            DN.parse("cn=x\\")
+
+    def test_str_round_trip_with_escapes(self):
+        dn = DN([Rdn.single("cn", "Doe, John+Jr")]).child("ou=A,B")
+        assert DN.parse(str(dn)) == dn
+
+
+class TestEscaping:
+    def test_escape_special_characters(self):
+        assert escape_value("a,b") == r"a\,b"
+        assert escape_value("a+b") == r"a\+b"
+        assert escape_value("a\\b") == "a\\\\b"
+
+    def test_escape_leading_trailing_space(self):
+        assert escape_value(" x ") == r"\ x\ "
+
+    @given(st.text(alphabet=st.characters(codec="ascii"), min_size=1).map(str.strip).filter(bool))
+    def test_escape_round_trips_through_parse(self, value):
+        rdn = Rdn([Ava("cn", value)])
+        assert Rdn.parse(str(rdn)) == rdn
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["cn", "ou", "o", "dc"]),
+            st.text(
+                alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+                min_size=1,
+            ).map(lambda s: " ".join(s.split())).filter(bool),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_dn_parse_str_round_trip(parts):
+    dn = DN([Rdn([Ava(a, v)]) for a, v in parts])
+    assert DN.parse(str(dn)) == dn
+    assert DN.parse(str(dn)).normalized() == dn.normalized()

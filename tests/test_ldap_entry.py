@@ -1,0 +1,137 @@
+"""Tests for attribute collections and entries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap import Attributes, Entry, LdapError, ResultCode
+
+
+class TestAttributes:
+    def test_put_and_get(self):
+        attrs = Attributes()
+        attrs.put("cn", "John Doe")
+        assert attrs.get("cn") == ["John Doe"]
+        assert attrs.get("CN") == ["John Doe"]
+
+    def test_put_list(self):
+        attrs = Attributes({"mail": ["a@x.com", "b@x.com"]})
+        assert attrs.get("mail") == ["a@x.com", "b@x.com"]
+
+    def test_put_empty_removes(self):
+        attrs = Attributes({"cn": "x"})
+        attrs.put("cn", [])
+        assert not attrs.has("cn")
+
+    def test_first(self):
+        attrs = Attributes({"mail": ["a@x.com", "b@x.com"]})
+        assert attrs.first("mail") == "a@x.com"
+        assert attrs.first("absent") is None
+        assert attrs.first("absent", "dflt") == "dflt"
+
+    def test_case_preserved_from_first_writer(self):
+        attrs = Attributes()
+        attrs.put("telephoneNumber", "1")
+        attrs.put("TELEPHONENUMBER", "2")
+        assert attrs.names() == ["telephoneNumber"]
+        assert attrs.get("telephonenumber") == ["2"]
+
+    def test_add_values_rejects_duplicates(self):
+        attrs = Attributes({"cn": "John"})
+        with pytest.raises(LdapError) as err:
+            attrs.add_values("cn", "JOHN")
+        assert err.value.code is ResultCode.ATTRIBUTE_OR_VALUE_EXISTS
+
+    def test_add_values_appends(self):
+        attrs = Attributes({"cn": "John"})
+        attrs.add_values("cn", ["Johnny"])
+        assert attrs.get("cn") == ["John", "Johnny"]
+
+    def test_delete_specific_value(self):
+        attrs = Attributes({"mail": ["a@x", "b@x"]})
+        attrs.delete_values("mail", "a@x")
+        assert attrs.get("mail") == ["b@x"]
+
+    def test_delete_last_value_removes_attribute(self):
+        attrs = Attributes({"mail": "a@x"})
+        attrs.delete_values("mail", "a@x")
+        assert not attrs.has("mail")
+
+    def test_delete_whole_attribute(self):
+        attrs = Attributes({"mail": ["a@x", "b@x"]})
+        attrs.delete_values("mail", None)
+        assert not attrs.has("mail")
+
+    def test_delete_missing_attribute_raises(self):
+        with pytest.raises(LdapError):
+            Attributes().delete_values("mail", None)
+
+    def test_delete_missing_value_raises(self):
+        with pytest.raises(LdapError):
+            Attributes({"mail": "a@x"}).delete_values("mail", "zzz")
+
+    def test_has_value_case_insensitive(self):
+        attrs = Attributes({"cn": "John Doe"})
+        assert attrs.has_value("cn", "john  doe")
+        assert not attrs.has_value("cn", "jane doe")
+
+    def test_equality_ignores_case_and_order(self):
+        a = Attributes({"cn": ["X", "Y"]})
+        b = Attributes({"CN": ["y", "x"]})
+        assert a == b
+
+    def test_copy_is_deep(self):
+        a = Attributes({"cn": "x"})
+        b = a.copy()
+        b.put("cn", "y")
+        assert a.get("cn") == ["x"]
+
+    def test_len_and_contains(self):
+        attrs = Attributes({"a": "1", "b": "2"})
+        assert len(attrs) == 2
+        assert "A" in attrs
+        assert "c" not in attrs
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["cn", "sn", "mail", "ou"]),
+            st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=3, unique=True),
+            max_size=4,
+        )
+    )
+    def test_to_dict_round_trip(self, data):
+        attrs = Attributes(data)
+        assert Attributes(attrs.to_dict()) == attrs
+
+
+class TestEntry:
+    def test_construct_from_string_dn(self):
+        entry = Entry("cn=John,o=Lucent", {"objectClass": "person", "cn": "John"})
+        assert str(entry.dn) == "cn=John,o=Lucent"
+        assert entry.object_classes == ["person"]
+
+    def test_rdn_consistent(self):
+        good = Entry("cn=John,o=Lucent", {"cn": "John"})
+        bad = Entry("cn=John,o=Lucent", {"cn": "Jane"})
+        assert good.rdn_consistent()
+        assert not bad.rdn_consistent()
+
+    def test_rdn_consistent_multi_ava(self):
+        entry = Entry("cn=J+sn=D,o=L", {"cn": "J", "sn": "D"})
+        assert entry.rdn_consistent()
+
+    def test_copy_independent(self):
+        entry = Entry("cn=X,o=L", {"cn": "X"})
+        clone = entry.copy()
+        clone.attributes.put("cn", "Y")
+        assert entry.first("cn") == "X"
+
+    def test_equality(self):
+        a = Entry("cn=X,o=L", {"cn": "X"})
+        b = Entry("CN=x,O=l", {"CN": "x"})
+        assert a == b
+
+    def test_attributes_shared_constructor_copies(self):
+        attrs = Attributes({"cn": "X"})
+        entry = Entry("cn=X,o=L", attrs)
+        attrs.put("cn", "mutated")
+        assert entry.first("cn") == "X"

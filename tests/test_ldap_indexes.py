@@ -1,0 +1,258 @@
+"""Tests for backend equality indexes: correctness under every mutation."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.ldap import (
+    DN,
+    Entry,
+    LdapConnection,
+    LdapServer,
+    Modification,
+    Rdn,
+    Scope,
+)
+from repro.ldap.backend import Backend
+
+
+@pytest.fixture
+def backend():
+    b = Backend(["o=L"])
+    b.add(Entry("o=L", {"objectClass": "organization", "o": "L"}))
+    b.create_index("telephoneNumber")
+    b.create_index("objectClass")
+    return b
+
+
+def add_person(backend, cn, phone=None):
+    attrs = {"objectClass": "person", "cn": cn, "sn": cn}
+    if phone:
+        attrs["telephoneNumber"] = phone
+    backend.add(Entry(f"cn={cn},o=L", attrs))
+
+
+def search_phones(backend, phone):
+    return {
+        e.first("cn")
+        for e in backend.search(DN.parse("o=L"), filter=f"(telephoneNumber={phone})")
+    }
+
+
+class TestIndexCorrectness:
+    def test_index_used_for_equality(self, backend):
+        add_person(backend, "A", "100")
+        add_person(backend, "B", "200")
+        assert search_phones(backend, "100") == {"A"}
+        assert "telephonenumber" in backend.indexed_attributes()
+
+    def test_index_inside_and_filter(self, backend):
+        add_person(backend, "A", "100")
+        hits = backend.search(
+            DN.parse("o=L"),
+            filter="(&(objectClass=person)(telephoneNumber=100))",
+        )
+        assert [e.first("cn") for e in hits] == ["A"]
+
+    def test_index_tracks_modify(self, backend):
+        add_person(backend, "A", "100")
+        backend.modify(
+            DN.parse("cn=A,o=L"), [Modification.replace("telephoneNumber", "300")]
+        )
+        assert search_phones(backend, "100") == set()
+        assert search_phones(backend, "300") == {"A"}
+
+    def test_index_tracks_delete(self, backend):
+        add_person(backend, "A", "100")
+        backend.delete(DN.parse("cn=A,o=L"))
+        assert search_phones(backend, "100") == set()
+
+    def test_index_tracks_attribute_removal(self, backend):
+        add_person(backend, "A", "100")
+        backend.modify(
+            DN.parse("cn=A,o=L"), [Modification.delete("telephoneNumber")]
+        )
+        assert search_phones(backend, "100") == set()
+
+    def test_index_tracks_rename(self, backend):
+        add_person(backend, "A", "100")
+        backend.modify_rdn(DN.parse("cn=A,o=L"), Rdn.parse("cn=Z"))
+        assert search_phones(backend, "100") == {"Z"}
+
+    def test_index_tracks_subtree_rename(self, backend):
+        backend.add(Entry("o=Sub,o=L", {"objectClass": "organization", "o": "Sub"}))
+        backend.add(
+            Entry(
+                "cn=Deep,o=Sub,o=L",
+                {"objectClass": "person", "cn": "Deep", "sn": "D",
+                 "telephoneNumber": "777"},
+            )
+        )
+        backend.modify_rdn(DN.parse("o=Sub,o=L"), Rdn.parse("o=Moved"))
+        (hit,) = backend.search(DN.parse("o=L"), filter="(telephoneNumber=777)")
+        assert str(hit.dn) == "cn=Deep,o=Moved,o=L"
+
+    def test_index_created_over_existing_data(self):
+        b = Backend(["o=L"])
+        b.add(Entry("o=L", {"objectClass": "organization", "o": "L"}))
+        b.add(
+            Entry("cn=Pre,o=L", {"objectClass": "person", "cn": "Pre", "sn": "P",
+                                 "mail": "pre@x"})
+        )
+        b.create_index("mail")
+        (hit,) = b.search(DN.parse("o=L"), filter="(mail=pre@x)")
+        assert hit.first("cn") == "Pre"
+
+    def test_index_multivalued(self, backend):
+        backend.add(
+            Entry(
+                "cn=Multi,o=L",
+                {"objectClass": "person", "cn": "Multi", "sn": "M",
+                 "telephoneNumber": ["100", "200"]},
+            )
+        )
+        assert search_phones(backend, "100") == {"Multi"}
+        assert search_phones(backend, "200") == {"Multi"}
+        backend.modify(
+            DN.parse("cn=Multi,o=L"),
+            [Modification.delete("telephoneNumber", "100")],
+        )
+        assert search_phones(backend, "100") == set()
+        assert search_phones(backend, "200") == {"Multi"}
+
+    def test_index_case_insensitive(self, backend):
+        add_person(backend, "A")
+        backend.modify(
+            DN.parse("cn=A,o=L"), [Modification.add("telephoneNumber", "AbC")]
+        )
+        assert search_phones(backend, "abc") == {"A"}
+
+    def test_base_scoping_respected(self, backend):
+        backend.add(Entry("o=X,o=L", {"objectClass": "organization", "o": "X"}))
+        backend.add(
+            Entry("cn=In,o=X,o=L", {"objectClass": "person", "cn": "In", "sn": "I",
+                                    "telephoneNumber": "100"})
+        )
+        add_person(backend, "Out", "100")
+        hits = backend.search(DN.parse("o=X,o=L"), filter="(telephoneNumber=100)")
+        assert [e.first("cn") for e in hits] == ["In"]
+
+    def test_transaction_rollback_restores_index(self, backend):
+        add_person(backend, "A", "100")
+        with pytest.raises(Exception):
+            with backend.transaction() as txn:
+                txn.modify(
+                    DN.parse("cn=A,o=L"),
+                    [Modification.replace("telephoneNumber", "999")],
+                )
+                txn.delete(DN.parse("cn=Ghost,o=L"))
+        assert search_phones(backend, "100") == {"A"}
+        assert search_phones(backend, "999") == set()
+
+    def test_create_index_idempotent(self, backend):
+        backend.create_index("telephoneNumber")
+        add_person(backend, "A", "100")
+        assert search_phones(backend, "100") == {"A"}
+
+    def test_duplicate_dn_not_double_counted(self, backend):
+        add_person(backend, "A", "100")
+        # Replacing with the same values must not corrupt the index.
+        backend.modify(
+            DN.parse("cn=A,o=L"), [Modification.replace("telephoneNumber", "100")]
+        )
+        assert search_phones(backend, "100") == {"A"}
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "delete", "setphone", "clearphone", "rename"]),
+        st.sampled_from(["u1", "u2", "u3"]),
+        st.sampled_from(["100", "200", "300"]),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(operations=OPS)
+@settings(max_examples=60, deadline=None)
+def test_indexed_search_always_equals_scan(operations):
+    """Property: for any operation sequence, an indexed equality search
+    returns exactly what a full scan returns."""
+    indexed = Backend(["o=L"])
+    plain = Backend(["o=L"])
+    for b in (indexed, plain):
+        b.add(Entry("o=L", {"objectClass": "organization", "o": "L"}))
+    indexed.create_index("telephoneNumber")
+
+    for op, user, phone in operations:
+        for b in (indexed, plain):
+            try:
+                if op == "add":
+                    b.add(
+                        Entry(
+                            f"cn={user},o=L",
+                            {"objectClass": "person", "cn": user, "sn": user,
+                             "telephoneNumber": phone},
+                        )
+                    )
+                elif op == "delete":
+                    b.delete(DN.parse(f"cn={user},o=L"))
+                elif op == "setphone":
+                    b.modify(
+                        DN.parse(f"cn={user},o=L"),
+                        [Modification.replace("telephoneNumber", phone)],
+                    )
+                elif op == "clearphone":
+                    b.modify(
+                        DN.parse(f"cn={user},o=L"),
+                        [Modification.delete("telephoneNumber")],
+                    )
+                elif op == "rename":
+                    b.modify_rdn(
+                        DN.parse(f"cn={user},o=L"), Rdn.parse(f"cn={user}x")
+                    )
+            except Exception:
+                pass
+        for phone_probe in ("100", "200", "300"):
+            via_index = {
+                str(e.dn)
+                for e in indexed.search(
+                    DN.parse("o=L"), filter=f"(telephoneNumber={phone_probe})"
+                )
+            }
+            via_scan = {
+                str(e.dn)
+                for e in plain.search(
+                    DN.parse("o=L"), filter=f"(telephoneNumber={phone_probe})"
+                )
+            }
+            assert via_index == via_scan
+
+
+class TestIndexSelectivity:
+    def test_most_selective_probe_wins(self):
+        b = Backend(["o=L"])
+        b.add(Entry("o=L", {"objectClass": "organization", "o": "L"}))
+        b.create_index("objectClass")
+        b.create_index("telephoneNumber")
+        for i in range(50):
+            b.add(
+                Entry(
+                    f"cn=U{i},o=L",
+                    {"objectClass": "person", "cn": f"U{i}", "sn": "U",
+                     "telephoneNumber": str(1000 + i)},
+                )
+            )
+        candidates = b._index_candidates(
+            __import__("repro.ldap.filter", fromlist=["parse_filter"]).parse_filter(
+                "(&(objectClass=person)(telephoneNumber=1007))"
+            )
+        )
+        # The key-attribute bucket (size 1), not the person bucket (size 50).
+        assert candidates is not None and len(candidates) == 1
+        hits = b.search(
+            DN.parse("o=L"),
+            filter="(&(objectClass=person)(telephoneNumber=1007))",
+        )
+        assert [e.first("cn") for e in hits] == ["U7"]

@@ -1,0 +1,186 @@
+"""Tests for LDIF change records (the RFC 2849 update format)."""
+
+import pytest
+
+from repro.ldap import (
+    DN,
+    LdapConnection,
+    LdapServer,
+    LdifChange,
+    ModOp,
+    Modification,
+    apply_changes,
+    parse_change_ldif,
+    write_change_ldif,
+)
+from repro.ldap.ldif import LdifSyntaxError
+
+SAMPLE = """\
+version: 1
+
+dn: cn=New Person,o=Lucent
+changetype: add
+objectClass: person
+cn: New Person
+sn: Person
+
+dn: cn=Old Person,o=Lucent
+changetype: delete
+
+dn: cn=John Doe,o=Lucent
+changetype: modify
+replace: telephoneNumber
+telephoneNumber: +1 908 582 9999
+-
+add: mail
+mail: jdoe@lucent.com
+-
+delete: roomNumber
+-
+
+dn: cn=Rename Me,o=Lucent
+changetype: modrdn
+newrdn: cn=Renamed
+deleteoldrdn: 1
+"""
+
+
+class TestParse:
+    def test_all_four_changetypes(self):
+        changes = parse_change_ldif(SAMPLE)
+        assert [c.changetype for c in changes] == [
+            "add", "delete", "modify", "modrdn",
+        ]
+
+    def test_add_attributes(self):
+        add = parse_change_ldif(SAMPLE)[0]
+        assert add.attributes["cn"] == ["New Person"]
+        assert add.attributes["objectClass"] == ["person"]
+
+    def test_modify_modifications(self):
+        modify = parse_change_ldif(SAMPLE)[2]
+        assert [m.op for m in modify.modifications] == [
+            ModOp.REPLACE, ModOp.ADD, ModOp.DELETE,
+        ]
+        assert modify.modifications[0].values == ("+1 908 582 9999",)
+        assert modify.modifications[2].attribute == "roomNumber"
+        assert modify.modifications[2].values == ()
+
+    def test_modrdn_fields(self):
+        modrdn = parse_change_ldif(SAMPLE)[3]
+        assert modrdn.new_rdn == "cn=Renamed"
+        assert modrdn.delete_old_rdn is True
+
+    def test_missing_changetype_rejected(self):
+        with pytest.raises(LdifSyntaxError):
+            parse_change_ldif("dn: cn=X,o=L\ncn: X\n")
+
+    def test_unknown_changetype_rejected(self):
+        with pytest.raises(LdifSyntaxError):
+            parse_change_ldif("dn: cn=X,o=L\nchangetype: frobnicate\n")
+
+    def test_bad_modify_op_rejected(self):
+        with pytest.raises(LdifSyntaxError):
+            parse_change_ldif(
+                "dn: cn=X,o=L\nchangetype: modify\nfrob: cn\n-\n"
+            )
+
+    def test_modrdn_without_newrdn_rejected(self):
+        with pytest.raises(LdifSyntaxError):
+            parse_change_ldif("dn: cn=X,o=L\nchangetype: modrdn\n")
+
+
+class TestWriteAndRoundTrip:
+    def test_round_trip(self):
+        changes = parse_change_ldif(SAMPLE)
+        out = write_change_ldif(changes)
+        again = parse_change_ldif(out)
+        assert again == changes
+
+    def test_write_modify_layout(self):
+        text = write_change_ldif(
+            [
+                LdifChange(
+                    DN.parse("cn=X,o=L"),
+                    "modify",
+                    modifications=(Modification.replace("sn", "New"),),
+                )
+            ]
+        )
+        assert "changetype: modify" in text
+        assert "replace: sn" in text
+        assert text.count("-") >= 1
+
+
+class TestApply:
+    @pytest.fixture
+    def conn(self):
+        server = LdapServer(["o=Lucent"])
+        conn = LdapConnection(server)
+        conn.add("o=Lucent", {"objectClass": "organization", "o": "Lucent"})
+        conn.add(
+            "cn=Old Person,o=Lucent",
+            {"objectClass": "person", "cn": "Old Person", "sn": "P"},
+        )
+        conn.add(
+            "cn=John Doe,o=Lucent",
+            {"objectClass": "person", "cn": "John Doe", "sn": "Doe",
+             "roomNumber": "1A"},
+        )
+        conn.add(
+            "cn=Rename Me,o=Lucent",
+            {"objectClass": "person", "cn": "Rename Me", "sn": "M"},
+        )
+        return conn
+
+    def test_apply_whole_document(self, conn):
+        applied = apply_changes(conn, parse_change_ldif(SAMPLE))
+        assert applied == 4
+        assert conn.exists("cn=New Person,o=Lucent")
+        assert not conn.exists("cn=Old Person,o=Lucent")
+        john = conn.get("cn=John Doe,o=Lucent")
+        assert john.first("telephoneNumber") == "+1 908 582 9999"
+        assert john.first("mail") == "jdoe@lucent.com"
+        assert not john.has("roomNumber")
+        assert conn.exists("cn=Renamed,o=Lucent")
+
+    def test_changelog_export_replays_onto_fresh_server(self, conn):
+        """A server's changelog, exported as change LDIF, rebuilds a
+        replica — the offline counterpart of live replication."""
+        from repro.ldap.backend import ChangeType
+
+        source = conn.handler  # the LdapServer
+        changes = []
+        for record in source.backend.changelog:
+            if record.change_type is ChangeType.ADD:
+                changes.append(
+                    LdifChange(
+                        record.dn, "add",
+                        attributes=record.after.attributes.to_dict(),
+                    )
+                )
+            elif record.change_type is ChangeType.DELETE:
+                changes.append(LdifChange(record.dn, "delete"))
+            elif record.change_type is ChangeType.MODIFY:
+                changes.append(
+                    LdifChange(
+                        record.dn, "modify", modifications=record.modifications
+                    )
+                )
+            elif record.change_type is ChangeType.MODIFY_RDN:
+                changes.append(
+                    LdifChange(record.dn, "modrdn", new_rdn=str(record.new_rdn))
+                )
+        document = write_change_ldif(changes)
+
+        replica = LdapServer(["o=Lucent"], server_id="replica")
+        apply_changes(LdapConnection(replica), parse_change_ldif(document))
+        original = {
+            str(e.dn).lower(): e.attributes.normalized()
+            for e in source.backend.all_entries()
+        }
+        copied = {
+            str(e.dn).lower(): e.attributes.normalized()
+            for e in replica.backend.all_entries()
+        }
+        assert copied == original

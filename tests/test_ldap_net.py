@@ -1,0 +1,138 @@
+"""Tests for the JSON/TCP transport: a real process-style boundary between
+LDAP clients and the server or the LTAP gateway."""
+
+import pytest
+
+from repro.core import MetaComm, MetaCommConfig
+from repro.ldap import (
+    LdapConnection,
+    LdapError,
+    LdapServer,
+    Modification,
+    ResultCode,
+    Scope,
+)
+from repro.ldap.net import LdapTcpServer, RemoteLdapHandler
+from repro.schemas import PERSON_CLASSES
+
+
+@pytest.fixture
+def server():
+    s = LdapServer(["o=Lucent"])
+    LdapConnection(s).add("o=Lucent", {"objectClass": "organization", "o": "Lucent"})
+    return s
+
+
+@pytest.fixture
+def listener(server):
+    with LdapTcpServer(server) as tcp:
+        yield tcp
+
+
+@pytest.fixture
+def remote(listener):
+    with RemoteLdapHandler(*listener.address) as handler:
+        yield LdapConnection(handler)
+
+
+class TestRemoteCrud:
+    def test_add_and_search(self, remote):
+        remote.add(
+            "cn=Net User,o=Lucent",
+            {"objectClass": "person", "cn": "Net User", "sn": "User"},
+        )
+        hits = remote.search("o=Lucent", Scope.SUB, "(cn=Net User)")
+        assert [e.first("sn") for e in hits] == ["User"]
+
+    def test_modify(self, remote):
+        remote.add(
+            "cn=X,o=Lucent", {"objectClass": "person", "cn": "X", "sn": "X"}
+        )
+        remote.modify("cn=X,o=Lucent", [Modification.replace("sn", "Y")])
+        assert remote.get("cn=X,o=Lucent").first("sn") == "Y"
+
+    def test_modify_rdn(self, remote):
+        remote.add(
+            "cn=X,o=Lucent", {"objectClass": "person", "cn": "X", "sn": "X"}
+        )
+        remote.modify_rdn("cn=X,o=Lucent", "cn=Z")
+        assert remote.exists("cn=Z,o=Lucent")
+
+    def test_delete(self, remote):
+        remote.add(
+            "cn=X,o=Lucent", {"objectClass": "person", "cn": "X", "sn": "X"}
+        )
+        remote.delete("cn=X,o=Lucent")
+        assert not remote.exists("cn=X,o=Lucent")
+
+    def test_compare(self, remote):
+        remote.add(
+            "cn=X,o=Lucent", {"objectClass": "person", "cn": "X", "sn": "X"}
+        )
+        assert remote.compare("cn=X,o=Lucent", "sn", "x")
+        assert not remote.compare("cn=X,o=Lucent", "sn", "nope")
+
+    def test_errors_cross_the_wire(self, remote):
+        with pytest.raises(LdapError) as err:
+            remote.delete("cn=Ghost,o=Lucent")
+        assert err.value.code is ResultCode.NO_SUCH_OBJECT
+        assert "Ghost" in err.value.message or err.value.matched_dn
+
+    def test_unicode_values_survive(self, remote):
+        remote.add(
+            "cn=Ünïcode,o=Lucent",
+            {"objectClass": "person", "cn": "Ünïcode", "sn": "Ü"},
+        )
+        assert remote.get("cn=Ünïcode,o=Lucent").first("sn") == "Ü"
+
+
+class TestRemoteSessions:
+    def test_bind_state_is_per_connection(self, server, listener):
+        server.require_bind_for_writes = True
+        bound = LdapConnection(RemoteLdapHandler(*listener.address))
+        anonymous = LdapConnection(RemoteLdapHandler(*listener.address))
+        bound.bind("cn=Directory Manager", "secret")
+        bound.add(
+            "cn=ByAdmin,o=Lucent",
+            {"objectClass": "person", "cn": "ByAdmin", "sn": "A"},
+        )
+        with pytest.raises(LdapError) as err:
+            anonymous.add(
+                "cn=ByAnon,o=Lucent",
+                {"objectClass": "person", "cn": "ByAnon", "sn": "A"},
+            )
+        assert err.value.code is ResultCode.INSUFFICIENT_ACCESS_RIGHTS
+
+
+class TestRemoteMetaComm:
+    def test_full_metacomm_behind_tcp(self):
+        """The whole Figure-1 stack driven by a client on the far side of
+        a socket: LTAP really does look like just another LDAP server."""
+        system = MetaComm(MetaCommConfig(organizations=("Marketing",)))
+        with LdapTcpServer(system.gateway) as tcp:
+            with RemoteLdapHandler(*tcp.address) as handler:
+                conn = LdapConnection(handler)
+                conn.add(
+                    "cn=Remote User,o=Marketing,o=Lucent",
+                    {
+                        "objectClass": list(PERSON_CLASSES),
+                        "cn": "Remote User",
+                        "sn": "User",
+                        "definityExtension": "4100",
+                    },
+                )
+                assert system.pbx().contains("4100")
+                assert system.messaging.contains("+1 908 582 4100")
+                entry = conn.get("cn=Remote User,o=Marketing,o=Lucent")
+                assert entry.first("mpMailboxId", "").startswith("MB-")
+        assert system.consistent()
+
+    def test_protocol_garbage_answers_protocol_error(self, listener):
+        import json
+        import socket
+
+        with socket.create_connection(listener.address, timeout=5) as sock:
+            sock.sendall(b"this is not json\n")
+            line = sock.makefile("rb").readline()
+        payload = json.loads(line)
+        assert payload["code"] == int(ResultCode.PROTOCOL_ERROR)

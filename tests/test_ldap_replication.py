@@ -1,0 +1,153 @@
+"""Tests for multi-master replication and its relaxed write-write consistency."""
+
+import pytest
+
+from repro.ldap import DN, Entry, LdapConnection, LdapServer, Modification, Rdn
+from repro.ldap.replication import ReplicationEngine
+
+
+def make_server(server_id):
+    server = LdapServer(["o=Lucent"], server_id=server_id)
+    LdapConnection(server).add("o=Lucent", {"objectClass": "organization", "o": "Lucent"})
+    return server
+
+
+@pytest.fixture
+def pair():
+    a, b = make_server("a"), make_server("b")
+    engine = ReplicationEngine()
+    engine.connect_mesh([a, b])
+    engine.propagate()
+    return a, b, engine
+
+
+class TestBasicPropagation:
+    def test_add_propagates(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        engine.propagate()
+        assert b.get("cn=X,o=Lucent").first("cn") == "X"
+        assert engine.converged()
+
+    def test_modify_propagates(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        engine.propagate()
+        LdapConnection(b).modify("cn=X,o=Lucent", [Modification.replace("sn", "S")])
+        engine.propagate()
+        assert a.get("cn=X,o=Lucent").first("sn") == "S"
+        assert engine.converged()
+
+    def test_delete_propagates(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        engine.propagate()
+        LdapConnection(a).delete("cn=X,o=Lucent")
+        engine.propagate()
+        assert not LdapConnection(b).exists("cn=X,o=Lucent")
+        assert engine.converged()
+
+    def test_modify_rdn_propagates(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        engine.propagate()
+        LdapConnection(a).modify_rdn("cn=X,o=Lucent", "cn=Y")
+        engine.propagate()
+        assert LdapConnection(b).exists("cn=Y,o=Lucent")
+        assert engine.converged()
+
+    def test_no_echo_loops(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        shipped_first = engine.propagate()
+        shipped_second = engine.propagate()
+        assert shipped_first >= 1
+        assert shipped_second == 0
+
+
+class TestConflicts:
+    def test_concurrent_adds_merge(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add(
+            "cn=X,o=Lucent", {"objectClass": "person", "cn": "X", "sn": "FromA"}
+        )
+        LdapConnection(b).add(
+            "cn=X,o=Lucent", {"objectClass": "person", "cn": "X", "mail": "b@x"}
+        )
+        engine.propagate()
+        assert engine.converged()
+        # Later writer's attributes win; both sides identical.
+        ea, eb = a.get("cn=X,o=Lucent"), b.get("cn=X,o=Lucent")
+        assert ea.attributes.normalized() == eb.attributes.normalized()
+
+    def test_concurrent_replace_lww(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        engine.propagate()
+        LdapConnection(a).modify("cn=X,o=Lucent", [Modification.replace("sn", "A")])
+        LdapConnection(b).modify("cn=X,o=Lucent", [Modification.replace("sn", "B")])
+        engine.propagate()
+        assert engine.converged()
+        assert a.get("cn=X,o=Lucent").first("sn") == b.get("cn=X,o=Lucent").first("sn")
+
+    def test_conflicting_attribute_writes_do_not_clobber_others(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        engine.propagate()
+        LdapConnection(a).modify("cn=X,o=Lucent", [Modification.replace("sn", "A")])
+        LdapConnection(b).modify("cn=X,o=Lucent", [Modification.replace("mail", "m@x")])
+        engine.propagate()
+        assert engine.converged()
+        entry = a.get("cn=X,o=Lucent")
+        assert entry.first("sn") == "A"
+        assert entry.first("mail") == "m@x"
+
+    def test_delete_vs_modify_skips_gracefully(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        engine.propagate()
+        LdapConnection(a).delete("cn=X,o=Lucent")
+        LdapConnection(b).modify("cn=X,o=Lucent", [Modification.replace("sn", "B")])
+        engine.propagate()
+        # Divergence on delete/modify races is tolerated and repaired by
+        # resync in MetaComm; here the modify is simply skipped at a.
+        assert not LdapConnection(a).exists("cn=X,o=Lucent")
+
+
+class TestMesh:
+    def test_three_master_mesh_converges(self):
+        servers = [make_server(s) for s in ("a", "b", "c")]
+        engine = ReplicationEngine()
+        engine.connect_mesh(servers)
+        engine.propagate()
+        conns = [LdapConnection(s) for s in servers]
+        for i, conn in enumerate(conns):
+            conn.add(f"cn=U{i},o=Lucent", {"objectClass": "person", "cn": f"U{i}"})
+        engine.propagate()
+        assert engine.converged()
+        assert servers[0].size() == 4  # suffix + three users
+
+    def test_change_applied_once_despite_two_paths(self):
+        servers = [make_server(s) for s in ("a", "b", "c")]
+        engine = ReplicationEngine()
+        engine.connect_mesh(servers)
+        engine.propagate()
+        LdapConnection(servers[0]).add(
+            "cn=Once,o=Lucent", {"objectClass": "person", "cn": "Once"}
+        )
+        engine.propagate()
+        # b and c each received the add exactly once (no duplicate-apply errors),
+        # and no server re-imported its own change.
+        assert engine.converged()
+
+    def test_duplicate_server_id_rejected(self):
+        engine = ReplicationEngine()
+        with pytest.raises(ValueError):
+            engine.connect(make_server("dup"), make_server("dup"))
+
+    def test_statistics_track_shipping(self, pair):
+        a, b, engine = pair
+        LdapConnection(a).add("cn=X,o=Lucent", {"objectClass": "person", "cn": "X"})
+        before = engine.statistics["shipped"]
+        engine.propagate()
+        assert engine.statistics["shipped"] == before + 1

@@ -1,0 +1,183 @@
+"""Tests for schema definition and entry validation."""
+
+import pytest
+
+from repro.ldap import (
+    AttributeType,
+    ClassKind,
+    Entry,
+    LdapError,
+    ObjectClass,
+    ResultCode,
+    Schema,
+    SchemaViolationError,
+    define_attributes,
+)
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    define_attributes(
+        s, ["cn", "sn", "o", "telephoneNumber", "mail", "definityExtension"]
+    )
+    s.define_attribute(AttributeType("employeeNumber", single_value=True))
+    s.define_attribute(
+        AttributeType(
+            "extension",
+            validator=lambda v: None if v.isdigit() else "must be numeric",
+        )
+    )
+    s.define_class(ObjectClass("top", kind=ClassKind.ABSTRACT))
+    s.define_class(
+        ObjectClass("person", sup="top", must=("cn", "sn"), may=("telephoneNumber", "mail"))
+    )
+    s.define_class(
+        ObjectClass(
+            "organizationalPerson", sup="person", may=("employeeNumber", "extension")
+        )
+    )
+    s.define_class(ObjectClass("organization", sup="top", must=("o",)))
+    s.define_class(
+        ObjectClass(
+            "definityUser",
+            kind=ClassKind.AUXILIARY,
+            sup="top",
+            may=("definityExtension",),
+        )
+    )
+    return s
+
+
+class TestDefinition:
+    def test_duplicate_attribute_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.define_attribute(AttributeType("cn"))
+
+    def test_alias_lookup(self, schema):
+        schema.define_attribute(AttributeType("surname2", aliases=("sn2",)))
+        assert schema.attribute("SN2").name == "surname2"
+
+    def test_duplicate_class_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.define_class(ObjectClass("person"))
+
+    def test_auxiliary_with_must_rejected(self, schema):
+        # The exact LDAP limitation from paper section 5.2.
+        with pytest.raises(ValueError, match="mandatory"):
+            schema.define_class(
+                ObjectClass("badAux", kind=ClassKind.AUXILIARY, must=("cn",))
+            )
+
+    def test_undefined_superclass_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.define_class(ObjectClass("x", sup="nonexistent"))
+
+    def test_undefined_attribute_reference_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.define_class(ObjectClass("y", sup="top", may=("ghostAttr",)))
+
+    def test_superclass_chain(self, schema):
+        chain = [c.name for c in schema.superclass_chain("organizationalPerson")]
+        assert chain == ["organizationalPerson", "person", "top"]
+
+
+class TestValidation:
+    def test_valid_entry(self, schema):
+        schema.check_entry(
+            Entry("cn=J,o=L", {"objectClass": ["person"], "cn": "J", "sn": "D"})
+        )
+
+    def test_missing_objectclass(self, schema):
+        with pytest.raises(SchemaViolationError, match="no objectClass"):
+            schema.check_entry(Entry("cn=J,o=L", {"cn": "J"}))
+
+    def test_unknown_objectclass_strict(self, schema):
+        with pytest.raises(SchemaViolationError, match="unknown object class"):
+            schema.check_entry(Entry("cn=J,o=L", {"objectClass": "ghost", "cn": "J"}))
+
+    def test_unknown_objectclass_lenient(self, schema):
+        schema.strict = False
+        schema.check_entry(
+            Entry("cn=J,o=L", {"objectClass": ["person", "ghost"], "cn": "J", "sn": "D"})
+        )
+
+    def test_missing_mandatory_attribute(self, schema):
+        with pytest.raises(SchemaViolationError, match="sn"):
+            schema.check_entry(Entry("cn=J,o=L", {"objectClass": "person", "cn": "J"}))
+
+    def test_abstract_only_rejected(self, schema):
+        with pytest.raises(SchemaViolationError, match="structural"):
+            schema.check_entry(Entry("cn=J,o=L", {"objectClass": "top", "cn": "J"}))
+
+    def test_disallowed_attribute(self, schema):
+        with pytest.raises(SchemaViolationError, match="not allowed"):
+            schema.check_entry(
+                Entry(
+                    "cn=J,o=L",
+                    {"objectClass": "person", "cn": "J", "sn": "D", "o": "X"},
+                )
+            )
+
+    def test_auxiliary_class_extends_allowed_set(self, schema):
+        entry = Entry(
+            "cn=J,o=L",
+            {
+                "objectClass": ["person", "definityUser"],
+                "cn": "J",
+                "sn": "D",
+                "definityExtension": "4100",
+            },
+        )
+        schema.check_entry(entry)
+
+    def test_auxiliary_presence_does_not_require_fields(self, schema):
+        # Paper 5.2: the auxiliary class only indicates the person MAY use
+        # the device — an entry without the extension is legal.
+        entry = Entry(
+            "cn=J,o=L",
+            {"objectClass": ["person", "definityUser"], "cn": "J", "sn": "D"},
+        )
+        schema.check_entry(entry)
+
+    def test_single_value_enforced(self, schema):
+        entry = Entry(
+            "cn=J,o=L",
+            {
+                "objectClass": ["organizationalPerson"],
+                "cn": "J",
+                "sn": "D",
+                "employeeNumber": ["1", "2"],
+            },
+        )
+        with pytest.raises(LdapError) as err:
+            schema.check_entry(entry)
+        assert err.value.code is ResultCode.CONSTRAINT_VIOLATION
+
+    def test_validator_hook(self, schema):
+        entry = Entry(
+            "cn=J,o=L",
+            {
+                "objectClass": ["organizationalPerson"],
+                "cn": "J",
+                "sn": "D",
+                "extension": "41x0",
+            },
+        )
+        with pytest.raises(LdapError) as err:
+            schema.check_entry(entry)
+        assert err.value.code is ResultCode.INVALID_ATTRIBUTE_SYNTAX
+
+    def test_inherited_must_enforced(self, schema):
+        with pytest.raises(SchemaViolationError):
+            schema.check_entry(
+                Entry("cn=J,o=L", {"objectClass": "organizationalPerson", "cn": "J"})
+            )
+
+    def test_undefined_attribute_type_strict(self, schema):
+        entry = Entry(
+            "cn=J,o=L",
+            {"objectClass": "person", "cn": "J", "sn": "D", "frobnicator": "1"},
+        )
+        with pytest.raises(SchemaViolationError):
+            schema.check_entry(entry)

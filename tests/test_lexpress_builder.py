@@ -1,0 +1,128 @@
+"""Tests for MappingSetBuilder — the section-5.4 'GUI' replacement that
+generates both directions of a schema pair from one declaration."""
+
+import pytest
+
+from repro.lexpress import (
+    LexpressCompileError,
+    MappingSetBuilder,
+    TargetAction,
+    UpdateDescriptor,
+    UpdateOp,
+)
+
+
+@pytest.fixture
+def pair():
+    builder = (
+        MappingSetBuilder("pbx", "ldap")
+        .key("Extension", "definityExtension")
+        .originator("lastUpdater")
+        .map("Room", "roomNumber")
+        .map_with(
+            "Extension",
+            "telephoneNumber",
+            forward='concat("+1 908 582 ", Extension)',
+            backward="substr(telephoneNumber, 11)",
+        )
+        .table(
+            "COS",
+            "serviceClass",
+            {"1": "gold", "2": "silver"},
+            default="standard",
+            reverse_default="2",
+        )
+        .partition(backward='prefix(Extension, "4")')
+    )
+    return builder.compile()
+
+
+class TestGeneration:
+    def test_source_text_is_valid_lexpress(self):
+        builder = MappingSetBuilder("a", "b").key("k", "K").map("x", "X")
+        forward, backward = builder.build()
+        assert "mapping a_to_b" in forward
+        assert "mapping b_to_a" in backward
+        assert "key k -> K;" in forward
+        assert "key K -> k;" in backward
+
+    def test_key_required(self):
+        with pytest.raises(LexpressCompileError):
+            MappingSetBuilder("a", "b").map("x", "X").build()
+
+    def test_forward_and_backward_names(self, pair):
+        forward, backward = pair
+        assert forward.name == "pbx_to_ldap"
+        assert backward.name == "ldap_to_pbx"
+        assert (forward.source, forward.target) == ("pbx", "ldap")
+        assert (backward.source, backward.target) == ("ldap", "pbx")
+
+    def test_originator_generated_both_sides(self, pair):
+        forward, backward = pair
+        # Forward stamps the source name; backward declares the attribute.
+        assert forward.image({"Extension": "4100"})["lastUpdater"] == ["pbx"]
+        assert backward.originator == "lastUpdater"
+
+
+class TestRoundTrip:
+    def test_identity_map_round_trips(self, pair):
+        forward, backward = pair
+        ldap = forward.image({"Extension": "4100", "Room": "2B"})
+        assert ldap["roomNumber"] == ["2B"]
+        pbx = backward.image(ldap)
+        assert pbx["Room"] == ["2B"]
+        assert pbx["Extension"] == ["4100"]
+
+    def test_transformed_map_round_trips(self, pair):
+        forward, backward = pair
+        ldap = forward.image({"Extension": "4100"})
+        assert ldap["telephoneNumber"] == ["+1 908 582 4100"]
+        assert backward.image(ldap)["Extension"] == ["4100"]
+
+    def test_table_inverts(self, pair):
+        forward, backward = pair
+        assert forward.image({"Extension": "1", "COS": "1"})["serviceClass"] == ["gold"]
+        assert backward.image(
+            {"definityExtension": "1", "serviceClass": "gold"}
+        )["COS"] == ["1"]
+
+    def test_table_defaults(self, pair):
+        forward, backward = pair
+        assert forward.image({"Extension": "1", "COS": "7"})["serviceClass"] == [
+            "standard"
+        ]
+        assert backward.image(
+            {"definityExtension": "1", "serviceClass": "weird"}
+        )["COS"] == ["2"]
+
+    def test_backward_partition_applies(self, pair):
+        _forward, backward = pair
+        outside = UpdateDescriptor(
+            UpdateOp.ADD, "ldap", "9100", new={"definityExtension": "9100"}
+        )
+        inside = UpdateDescriptor(
+            UpdateOp.ADD, "ldap", "4100", new={"definityExtension": "4100"}
+        )
+        assert backward.translate(outside).action is TargetAction.SKIP
+        assert backward.translate(inside).action is TargetAction.ADD
+
+    def test_conditional_round_trip(self, pair):
+        """The full section-5.4 loop: a PBX-originated update mapped to
+        LDAP carries lastUpdater=pbx; translating the LDAP image back
+        toward the PBX yields a conditional update."""
+        forward, backward = pair
+        ldap_image = forward.image({"Extension": "4100", "Room": "2B"})
+        descriptor = UpdateDescriptor(
+            UpdateOp.ADD, "ldap", "4100", new=ldap_image
+        )
+        update = backward.translate(descriptor)
+        assert update.conditional
+
+    def test_quoting_survives_special_characters(self):
+        builder = (
+            MappingSetBuilder("a", "b")
+            .key("k", "K")
+            .table("t", "T", {'va"l': 'x\\y'})
+        )
+        forward, _backward = builder.compile()
+        assert forward.image({"k": "1", "t": 'va"l'})["T"] == ["x\\y"]

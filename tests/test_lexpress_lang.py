@@ -1,0 +1,404 @@
+"""Tests for the lexpress language front end: lexer, parser, compiler,
+interpreter, and the runtime function library."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lexpress import (
+    LexpressCompileError,
+    LexpressRuntimeError,
+    LexpressSyntaxError,
+    TokenType,
+    compile_expr,
+    execute,
+    known_functions,
+    parse,
+    tokenize,
+    truthy,
+)
+from repro.lexpress.ast import AttrRef, Call, Literal
+from repro.lexpress.parser import Parser
+
+
+def eval_expr(text: str, attrs=None, value=None):
+    """Parse, compile and execute a standalone expression."""
+    parser = Parser(tokenize(text))
+    expr = parser.parse_expr()
+    assert parser.peek().type is TokenType.EOF
+    return execute(compile_expr(expr, text), attrs or {}, value=value)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        types = [t.type for t in tokenize("mapping m { map a = b; }")]
+        assert types == [
+            TokenType.KEYWORD,
+            TokenType.IDENT,
+            TokenType.LBRACE,
+            TokenType.KEYWORD,
+            TokenType.IDENT,
+            TokenType.ASSIGN,
+            TokenType.IDENT,
+            TokenType.SEMI,
+            TokenType.RBRACE,
+            TokenType.EOF,
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a # the rest is a comment\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_string_escapes(self):
+        (token, _eof) = tokenize(r'"a\"b\n\t\\"')
+        assert token.text == 'a"b\n\t\\'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexpressSyntaxError):
+            tokenize('"never closed')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexpressSyntaxError):
+            tokenize(r'"\q"')
+
+    def test_regex_literal(self):
+        (token, _eof) = tokenize(r"/^(\w+), (\w+)$/")
+        assert token.type is TokenType.REGEX
+        assert token.text == r"^(\w+), (\w+)$"
+
+    def test_regex_with_escaped_slash(self):
+        (token, _eof) = tokenize(r"/a\/b/")
+        assert token.text == r"a\/b"
+
+    def test_group_token(self):
+        (token, _eof) = tokenize("$12")
+        assert token.type is TokenType.GROUP
+        assert token.text == "12"
+
+    def test_dollar_without_digits(self):
+        with pytest.raises(LexpressSyntaxError):
+            tokenize("$x")
+
+    def test_two_char_operators(self):
+        types = [t.type for t in tokenize("=> -> == != =")][:-1]
+        assert types == [
+            TokenType.ARROW,
+            TokenType.MAPSTO,
+            TokenType.EQEQ,
+            TokenType.NEQ,
+            TokenType.ASSIGN,
+        ]
+
+    def test_underscore_alone_vs_ident(self):
+        assert tokenize("_")[0].type is TokenType.UNDERSCORE
+        assert tokenize("_x")[0].type is TokenType.IDENT
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexpressSyntaxError):
+            tokenize("@")
+
+    def test_eof_terminates(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("   # just trivia")[-1].type is TokenType.EOF
+
+
+class TestParser:
+    def test_minimal_mapping(self):
+        desc = parse("mapping m { source a; target b; }")
+        (decl,) = desc.mappings
+        assert decl.name == "m"
+        assert (decl.source, decl.target) == ("a", "b")
+
+    def test_full_mapping(self):
+        desc = parse(
+            """
+            mapping m {
+                source pbx; target ldap;
+                key Extension -> definityExtension;
+                originator lastUpdater;
+                map cn = Name;
+                partition when prefix(Extension, "4");
+            }
+            """
+        )
+        (decl,) = desc.mappings
+        assert decl.key_source == "Extension"
+        assert decl.key_target == "definityExtension"
+        assert decl.originator == "lastUpdater"
+        assert len(decl.rules) == 1
+        assert decl.partition is not None
+
+    def test_multiple_mappings(self):
+        desc = parse(
+            "mapping a { source x; target y; } mapping b { source y; target x; }"
+        )
+        assert [m.name for m in desc.mappings] == ["a", "b"]
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(LexpressSyntaxError, match="source"):
+            parse("mapping m { target b; }")
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(LexpressSyntaxError, match="duplicate"):
+            parse("mapping m { source a; target b; map x = y; map x = z; }")
+
+    def test_empty_description_rejected(self):
+        with pytest.raises(LexpressSyntaxError):
+            parse("   ")
+
+    def test_wildcard_must_be_last(self):
+        with pytest.raises(LexpressSyntaxError):
+            parse(
+                'mapping m { source a; target b;'
+                ' map x = match y { _ => "d"; "k" => "v"; }; }'
+            )
+
+    def test_default_must_be_last(self):
+        with pytest.raises(LexpressSyntaxError):
+            parse(
+                'mapping m { source a; target b;'
+                ' map x = table y { default => "d"; "k" => "v"; }; }'
+            )
+
+    def test_call_argument_lists(self):
+        desc = parse('mapping m { source a; target b; map x = concat(p, "-", q); }')
+        rule = desc.mappings[0].rules[0]
+        assert isinstance(rule.expr, Call)
+        assert len(rule.expr.args) == 3
+
+    def test_bad_statement(self):
+        with pytest.raises(LexpressSyntaxError):
+            parse("mapping m { source a; target b; bogus x; }")
+
+
+class TestExpressions:
+    def test_literal_and_attr(self):
+        assert eval_expr('"hello"') == "hello"
+        assert eval_expr("Name", {"Name": ["Ada"]}) == "Ada"
+        assert eval_expr("Name", {}) is None
+
+    def test_attr_case_insensitive(self):
+        assert eval_expr("name", {"NAME": ["x"]}) == "x"
+
+    def test_concat(self):
+        assert eval_expr('concat("a", "b", "c")') == "abc"
+        assert eval_expr('concat("a", Missing)') is None
+
+    def test_case_functions(self):
+        assert eval_expr('upper("aBc")') == "ABC"
+        assert eval_expr('lower("aBc")') == "abc"
+        assert eval_expr('trim("  x ")') == "x"
+
+    def test_substr(self):
+        assert eval_expr('substr("telephone", 4)') == "phone"
+        assert eval_expr('substr("telephone", 0, 3)') == "tel"
+        with pytest.raises(LexpressRuntimeError):
+            eval_expr('substr("x", "bad")')
+
+    def test_replace_and_digits(self):
+        assert eval_expr('replace("a-b-c", "-", ".")') == "a.b.c"
+        assert eval_expr('digits("+1 (908) 582-9000")') == "19085829000"
+
+    def test_pad(self):
+        assert eval_expr('pad("42", 5)') == "00042"
+        assert eval_expr('pad("123456", 3)') == "123456"
+
+    def test_predicates(self):
+        assert eval_expr('prefix("+1 908", "+1")') is True
+        assert eval_expr('suffix("file.txt", ".txt")') is True
+        assert eval_expr('contains("hello", "ell")') is True
+        assert eval_expr('matches("4100", "^[0-9]+$")') is True
+        assert eval_expr("present(Name)", {"Name": ["x"]}) is True
+        assert eval_expr("present(Name)", {}) is False
+        assert eval_expr("empty(Name)", {}) is True
+
+    def test_alt_picks_first_non_null(self):
+        attrs = {"b": ["bee"]}
+        assert eval_expr("alt(a, b, c)", attrs) == "bee"
+        assert eval_expr("alt(a, c)", attrs) is None
+        assert eval_expr('alt(a, "fallback")', attrs) == "fallback"
+
+    def test_ifnull(self):
+        assert eval_expr('ifnull(Name, "anon")', {}) == "anon"
+        assert eval_expr('ifnull(Name, "anon")', {"Name": ["x"]}) == "x"
+
+    def test_multivalue_functions(self):
+        attrs = {"mail": ["a@x", "b@x"]}
+        assert eval_expr('join(split("a,b,c", ","), "-")') == "a-b-c"
+        assert eval_expr('first(split("a,b", ","))') == "a"
+        assert eval_expr('last(split("a,b", ","))') == "b"
+        assert eval_expr("count(mail)", attrs) == "2"
+        assert eval_expr("count(missing)") == "0"
+
+    def test_each(self):
+        attrs = {"Lines": ["4100", "4101"]}
+        result = eval_expr('each Lines => concat("+1 908 582 ", value)', attrs)
+        assert result == ["+1 908 582 4100", "+1 908 582 4101"]
+
+    def test_each_missing_attr_gives_empty(self):
+        assert eval_expr('each Lines => value', {}) == []
+
+    def test_each_skips_null_results(self):
+        attrs = {"Lines": ["x1", "2"]}
+        result = eval_expr(
+            'each Lines => match value { /^([0-9]+)$/ => $1; }', attrs
+        )
+        assert result == ["2"]
+
+    def test_match_regex_groups(self):
+        result = eval_expr(
+            'match Name { /^(\\w+), (\\w+)$/ => concat($2, " ", $1); _ => Name; }',
+            {"Name": ["Doe, John"]},
+        )
+        assert result == "John Doe"
+
+    def test_match_falls_through_to_wildcard(self):
+        result = eval_expr(
+            'match Name { /^(\\w+), (\\w+)$/ => $2; _ => upper(Name); }',
+            {"Name": ["single"]},
+        )
+        assert result == "SINGLE"
+
+    def test_match_no_arm_gives_null(self):
+        assert eval_expr('match Name { "x" => "y"; }', {"Name": ["z"]}) is None
+
+    def test_match_literal_arm(self):
+        assert eval_expr('match v { "a" => "1"; "b" => "2"; }', {"v": ["b"]}) == "2"
+
+    def test_match_special_case_refinement(self):
+        # Paper: "Patterns allow mappings to be refined incrementally with
+        # a list of special cases."
+        expr = """match Name {
+            "N/A"                 => null;
+            /^\\s*$/              => null;
+            /^(\\w+), (\\w+)$/    => concat($2, " ", $1);
+            _                     => trim(Name);
+        }"""
+        assert eval_expr(expr, {"Name": ["N/A"]}) is None
+        assert eval_expr(expr, {"Name": ["   "]}) is None
+        assert eval_expr(expr, {"Name": ["Doe, Jane"]}) == "Jane Doe"
+        assert eval_expr(expr, {"Name": ["  Cher "]}) == "Cher"
+
+    def test_match_null_subject_no_crash(self):
+        assert eval_expr('match Missing { /x/ => "y"; _ => "w"; }', {}) == "w"
+
+    def test_table(self):
+        expr = 'table COS { "1" => "gold"; "2" => "silver"; default => "std"; }'
+        assert eval_expr(expr, {"COS": ["1"]}) == "gold"
+        assert eval_expr(expr, {"COS": ["2"]}) == "silver"
+        assert eval_expr(expr, {"COS": ["9"]}) == "std"
+
+    def test_table_without_default_gives_null(self):
+        assert eval_expr('table v { "a" => "1"; }', {"v": ["zzz"]}) is None
+
+    def test_comparisons(self):
+        assert eval_expr('"a" == "a"') is True
+        assert eval_expr('"a" != "b"') is True
+        assert eval_expr("Name == null", {}) is True
+        assert eval_expr("Name == null", {"Name": ["x"]}) is False
+
+    def test_boolean_operators(self):
+        attrs = {"a": ["1"]}
+        assert eval_expr('present(a) and prefix("xy", "x")', attrs) is True
+        assert eval_expr("present(a) and present(b)", attrs) is False
+        assert eval_expr("present(b) or present(a)", attrs) is True
+        assert eval_expr("not present(b)", attrs) is True
+
+    def test_boolean_short_circuit(self):
+        # `and` must not evaluate the right side when left is false:
+        # substr with a bad index would raise.
+        assert (
+            eval_expr('present(b) and substr("x", "bad") == "y"', {}) is False
+        )
+
+    def test_unknown_function_rejected_at_compile_time(self):
+        with pytest.raises(LexpressCompileError, match="unknown function"):
+            eval_expr("frobnicate(x)")
+
+    def test_bad_regex_rejected_at_compile_time(self):
+        with pytest.raises(LexpressCompileError, match="bad regex"):
+            eval_expr('match v { /(/ => "x"; }')
+
+    def test_wrong_arity_is_runtime_error(self):
+        with pytest.raises(LexpressRuntimeError):
+            eval_expr('upper("a", "b", "c")')
+
+    def test_nested_expressions(self):
+        attrs = {"Name": ["doe, john"], "Ext": ["4100"]}
+        result = eval_expr(
+            'upper(concat(first(split(Name, ", ")), "-", Ext))', attrs
+        )
+        assert result == "DOE-4100"
+
+    def test_parenthesized(self):
+        assert eval_expr('("x")') == "x"
+
+
+class TestDependencies:
+    def test_deps_collected(self):
+        parser = Parser(tokenize('concat(A, match B { /x/ => C; _ => "k"; })'))
+        code = compile_expr(parser.parse_expr())
+        assert code.deps == {"a", "b", "c"}
+
+    def test_each_deps_include_attribute_and_body(self):
+        parser = Parser(tokenize("each Lines => concat(Prefix, value)"))
+        code = compile_expr(parser.parse_expr())
+        assert code.deps == {"lines", "prefix"}
+
+    def test_literal_has_no_deps(self):
+        parser = Parser(tokenize('"const"'))
+        assert compile_expr(parser.parse_expr()).deps == frozenset()
+
+
+class TestBytecode:
+    def test_disassembly_is_printable(self):
+        parser = Parser(tokenize('table v { "a" => "1"; default => "d"; }'))
+        code = compile_expr(parser.parse_expr(), "demo")
+        text = code.disassemble()
+        assert "demo" in text
+        assert "MATCH_LIT" in text
+
+    def test_const_interning(self):
+        parser = Parser(tokenize('concat("x", "x", "x")'))
+        code = compile_expr(parser.parse_expr())
+        assert code.consts.count("x") == 1
+
+
+class TestTruthy:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, False),
+            (True, True),
+            (False, False),
+            ("", False),
+            ("x", True),
+            ([], False),
+            (["x"], True),
+        ],
+    )
+    def test_table(self, value, expected):
+        assert truthy(value) is expected
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters='"\\\n\r',
+                                      blacklist_categories=("Cs", "Cc")),
+               max_size=20))
+def test_string_literal_round_trip(text):
+    quoted = '"' + text + '"'
+    assert eval_expr(quoted) == text
+
+
+@given(st.lists(st.text(alphabet="abc123", min_size=1, max_size=5), max_size=5))
+def test_each_identity_preserves_values(values):
+    assert eval_expr("each V => value", {"V": values}) == values
+
+
+def test_function_registry_is_stable():
+    names = known_functions()
+    assert "concat" in names and "alt" in names and "split" in names
+    assert names == sorted(names)

@@ -1,0 +1,315 @@
+"""Tests for compiled mappings: translation, partitioning, Originator."""
+
+import pytest
+
+from repro.lexpress import (
+    LexpressCompileError,
+    MappingInstance,
+    PartitionConstraint,
+    TargetAction,
+    UpdateDescriptor,
+    UpdateOp,
+    compile_description,
+    compile_mapping,
+    route,
+)
+
+PBX_TO_LDAP = """
+mapping pbx_to_ldap {
+    source pbx;
+    target ldap;
+    key Extension -> definityExtension;
+
+    map telephoneNumber = concat("+1 908 582 ", Extension);
+    map cn = match Name {
+        /^(\\w+), ?(\\w+)$/ => concat($2, " ", $1);
+        _ => Name;
+    };
+    map roomNumber = Room;
+    map lastUpdater = "pbx";
+}
+"""
+
+LDAP_TO_PBX = """
+mapping ldap_to_pbx {
+    source ldap;
+    target pbx;
+    key definityExtension -> Extension;
+    originator lastUpdater;
+
+    map Extension = alt(definityExtension, digits(substr(telephoneNumber, 10)));
+    map Name = match cn {
+        /^(\\w+) (\\w+)$/ => concat($2, ", ", $1);
+        _ => cn;
+    };
+    map Room = roomNumber;
+    partition when prefix(Extension, "4");
+}
+"""
+
+
+@pytest.fixture
+def pbx_to_ldap():
+    return compile_mapping(PBX_TO_LDAP)
+
+
+@pytest.fixture
+def ldap_to_pbx():
+    return compile_mapping(LDAP_TO_PBX)
+
+
+class TestCompileDescription:
+    def test_two_mappings_in_one_file(self):
+        mappings = compile_description(PBX_TO_LDAP + LDAP_TO_PBX)
+        assert set(mappings) == {"pbx_to_ldap", "ldap_to_pbx"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LexpressCompileError):
+            compile_description(PBX_TO_LDAP + PBX_TO_LDAP)
+
+    def test_compile_mapping_requires_exactly_one(self):
+        with pytest.raises(LexpressCompileError):
+            compile_mapping(PBX_TO_LDAP + LDAP_TO_PBX)
+
+    def test_key_rule_auto_added(self, pbx_to_ldap):
+        image = pbx_to_ldap.image({"Extension": "4100"})
+        assert image["definityExtension"] == ["4100"]
+
+    def test_deps_aggregate(self, pbx_to_ldap):
+        assert pbx_to_ldap.deps == {"extension", "name", "room"}
+
+
+class TestImage:
+    def test_full_image(self, pbx_to_ldap):
+        image = pbx_to_ldap.image(
+            {"Extension": "4100", "Name": "Doe, John", "Room": "2B-110"}
+        )
+        assert image == {
+            "definityExtension": ["4100"],
+            "telephoneNumber": ["+1 908 582 4100"],
+            "cn": ["John Doe"],
+            "roomNumber": ["2B-110"],
+            "lastUpdater": ["pbx"],
+        }
+
+    def test_unset_attributes_omitted(self, pbx_to_ldap):
+        image = pbx_to_ldap.image({"Extension": "4100"})
+        assert "cn" not in image
+        assert "roomNumber" not in image
+
+    def test_none_in_none_out(self, pbx_to_ldap):
+        assert pbx_to_ldap.image(None) is None
+
+    def test_alternate_mapping_fallback(self, ldap_to_pbx):
+        # definityExtension missing: falls back to digits of telephoneNumber.
+        image = ldap_to_pbx.image(
+            {"telephoneNumber": "+1 908 582 4321", "cn": "Jo Po"}
+        )
+        assert image["Extension"] == ["4321"]
+
+
+class TestTranslateBasics:
+    def test_wrong_source_rejected(self, pbx_to_ldap):
+        descriptor = UpdateDescriptor(UpdateOp.ADD, "ldap", "x", new={"cn": "X"})
+        with pytest.raises(LexpressCompileError):
+            pbx_to_ldap.translate(descriptor)
+
+    def test_add(self, pbx_to_ldap):
+        update = pbx_to_ldap.translate(
+            UpdateDescriptor(
+                UpdateOp.ADD, "pbx", "4100",
+                new={"Extension": "4100", "Name": "Doe, John"},
+            )
+        )
+        assert update.action is TargetAction.ADD
+        assert update.key == "4100"
+        assert update.attributes["cn"] == ["John Doe"]
+
+    def test_delete(self, pbx_to_ldap):
+        update = pbx_to_ldap.translate(
+            UpdateDescriptor(
+                UpdateOp.DELETE, "pbx", "4100", old={"Extension": "4100"}
+            )
+        )
+        assert update.action is TargetAction.DELETE
+        assert update.key == "4100"
+
+    def test_modify_changed_only(self, pbx_to_ldap):
+        update = pbx_to_ldap.translate(
+            UpdateDescriptor(
+                UpdateOp.MODIFY, "pbx", "4100",
+                old={"Extension": "4100", "Name": "Doe, John", "Room": "1A"},
+                new={"Extension": "4100", "Name": "Doe, John", "Room": "2B"},
+            )
+        )
+        assert update.action is TargetAction.MODIFY
+        assert update.changed == {"roomNumber": ["2B"]}
+        assert not update.removed
+
+    def test_modify_key_change_updates_dependents(self, pbx_to_ldap):
+        update = pbx_to_ldap.translate(
+            UpdateDescriptor(
+                UpdateOp.MODIFY, "pbx", "4100",
+                old={"Extension": "4100", "Name": "Doe, John"},
+                new={"Extension": "4200", "Name": "Doe, John"},
+            )
+        )
+        assert update.old_key == "4100"
+        assert update.key == "4200"
+        assert update.changed["definityExtension"] == ["4200"]
+        assert update.changed["telephoneNumber"] == ["+1 908 582 4200"]
+
+    def test_modify_attribute_removal(self, pbx_to_ldap):
+        update = pbx_to_ldap.translate(
+            UpdateDescriptor(
+                UpdateOp.MODIFY, "pbx", "4100",
+                old={"Extension": "4100", "Room": "1A"},
+                new={"Extension": "4100"},
+            )
+        )
+        assert update.removed == ("roomNumber",)
+
+    def test_irrelevant_modify_returns_none(self, pbx_to_ldap):
+        descriptor = UpdateDescriptor(
+            UpdateOp.MODIFY, "pbx", "4100",
+            old={"Extension": "4100", "Port": "01A0101"},
+            new={"Extension": "4100", "Port": "01A0202"},
+        )
+        assert pbx_to_ldap.translate(descriptor) is None
+
+    def test_noop_modify_skips(self, pbx_to_ldap):
+        descriptor = UpdateDescriptor(
+            UpdateOp.MODIFY, "pbx", "4100",
+            old={"Extension": "4100", "Name": "A, B"},
+            new={"Extension": "4100", "Name": "A, B", "Port": "x"},
+        )
+        update = pbx_to_ldap.translate(descriptor)
+        # Port is unmapped; Name unchanged — nothing to do at the target.
+        assert update is None or update.action is TargetAction.SKIP
+
+
+class TestPartitionRouting:
+    """Section 4.2's migration matrix, driven end to end."""
+
+    def test_route_matrix(self):
+        assert route(False, True) is TargetAction.ADD
+        assert route(True, True) is TargetAction.MODIFY
+        assert route(True, False) is TargetAction.DELETE
+        assert route(False, False) is TargetAction.SKIP
+
+    def test_declared_partition_filters_adds(self, ldap_to_pbx):
+        inside = UpdateDescriptor(
+            UpdateOp.ADD, "ldap", "4100", new={"definityExtension": "4100", "cn": "A B"}
+        )
+        outside = UpdateDescriptor(
+            UpdateOp.ADD, "ldap", "5100", new={"definityExtension": "5100", "cn": "A B"}
+        )
+        assert ldap_to_pbx.translate(inside).action is TargetAction.ADD
+        assert ldap_to_pbx.translate(outside).action is TargetAction.SKIP
+
+    def test_migration_between_partitions(self, ldap_to_pbx):
+        """A phone-number change that moves the person to another PBX
+        becomes a DELETE at the old PBX and an ADD at the new one."""
+        pbx_a = MappingInstance(
+            ldap_to_pbx, "ldap", "pbx-a",
+            PartitionConstraint.compile('prefix(Extension, "41")'),
+        )
+        pbx_b = MappingInstance(
+            ldap_to_pbx, "ldap", "pbx-b",
+            PartitionConstraint.compile('prefix(Extension, "42")'),
+        )
+        move = UpdateDescriptor(
+            UpdateOp.MODIFY, "ldap", "4100",
+            old={"definityExtension": "4100", "cn": "Jo Po"},
+            new={"definityExtension": "4200", "cn": "Jo Po"},
+        )
+        at_a = pbx_a.translate(move)
+        at_b = pbx_b.translate(move)
+        assert at_a.action is TargetAction.DELETE
+        assert at_a.key == "4100"
+        assert at_b.action is TargetAction.ADD
+        assert at_b.key == "4200"
+        assert at_b.target == "pbx-b"
+
+    def test_modify_within_partition(self, ldap_to_pbx):
+        instance = MappingInstance(
+            ldap_to_pbx, "ldap", "pbx-a",
+            PartitionConstraint.compile('prefix(Extension, "41")'),
+        )
+        update = instance.translate(
+            UpdateDescriptor(
+                UpdateOp.MODIFY, "ldap", "4100",
+                old={"definityExtension": "4100", "cn": "Jo Po"},
+                new={"definityExtension": "4100", "cn": "Jo Quo"},
+            )
+        )
+        assert update.action is TargetAction.MODIFY
+        assert update.changed == {"Name": ["Quo, Jo"]}
+
+    def test_never_ours_skips(self, ldap_to_pbx):
+        instance = MappingInstance(
+            ldap_to_pbx, "ldap", "pbx-a",
+            PartitionConstraint.compile('prefix(Extension, "41")'),
+        )
+        update = instance.translate(
+            UpdateDescriptor(
+                UpdateOp.MODIFY, "ldap", "9000",
+                old={"definityExtension": "9000", "cn": "A B"},
+                new={"definityExtension": "9001", "cn": "A B"},
+            )
+        )
+        assert update.action is TargetAction.SKIP
+
+
+class TestOriginator:
+    """Section 5.4: conditional updates for reapplication."""
+
+    def test_origin_repo_match_is_conditional(self, ldap_to_pbx):
+        descriptor = UpdateDescriptor(
+            UpdateOp.ADD, "ldap", "4100",
+            new={"definityExtension": "4100", "cn": "A B"},
+            origin="pbx",
+        )
+        assert ldap_to_pbx.translate(descriptor).conditional
+
+    def test_originator_attribute_match_is_conditional(self, ldap_to_pbx):
+        descriptor = UpdateDescriptor(
+            UpdateOp.ADD, "ldap", "4100",
+            new={"definityExtension": "4100", "cn": "A B", "lastUpdater": "pbx"},
+        )
+        assert ldap_to_pbx.translate(descriptor).conditional
+
+    def test_fresh_update_is_not_conditional(self, ldap_to_pbx):
+        descriptor = UpdateDescriptor(
+            UpdateOp.ADD, "ldap", "4100",
+            new={"definityExtension": "4100", "cn": "A B", "lastUpdater": "wba"},
+        )
+        assert not ldap_to_pbx.translate(descriptor).conditional
+
+    def test_forward_mapping_stamps_last_updater(self, pbx_to_ldap):
+        image = pbx_to_ldap.image({"Extension": "4100"})
+        assert image["lastUpdater"] == ["pbx"]
+
+
+class TestPartitionConstraintUnit:
+    def test_compile_and_evaluate(self):
+        constraint = PartitionConstraint.compile('prefix(tn, "+1 908")')
+        assert constraint.satisfied_by({"tn": ["+1 908 582 9000"]})
+        assert not constraint.satisfied_by({"tn": ["+1 212 555 0100"]})
+        assert not constraint.satisfied_by(None)
+        assert not constraint.satisfied_by({})
+
+    def test_compound_predicate(self):
+        constraint = PartitionConstraint.compile(
+            'prefix(ext, "4") and not prefix(ext, "49")'
+        )
+        assert constraint.satisfied_by({"ext": ["4100"]})
+        assert not constraint.satisfied_by({"ext": ["4900"]})
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(Exception):
+            PartitionConstraint.compile('prefix(a, "x") bogus')
+
+    def test_deps_exposed(self):
+        constraint = PartitionConstraint.compile('prefix(tn, "+1") and present(cn)')
+        assert constraint.deps == {"tn", "cn"}

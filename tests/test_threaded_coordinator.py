@@ -1,0 +1,117 @@
+"""Tests for the threaded coordinator mode.
+
+Section 4.4 describes the UM as having a *main thread* iterating the
+global queue.  In threaded mode LTAP's trigger hands the queued descriptor
+to the coordinator thread and blocks until it signals completion, so the
+entry-lock semantics are identical to synchronous mode.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import MetaComm, MetaCommConfig
+from repro.ldap import Modification
+from repro.schemas import PERSON_CLASSES
+
+
+def person_attrs(cn, sn, **extra):
+    attrs = {"objectClass": list(PERSON_CLASSES), "cn": cn, "sn": sn}
+    attrs.update(extra)
+    return attrs
+
+
+@pytest.fixture
+def system():
+    system = MetaComm(MetaCommConfig(organizations=("Marketing",)))
+    system.um.start()
+    yield system
+    system.um.stop()
+
+
+class TestThreadedMode:
+    def test_start_stop_idempotent(self, system):
+        assert system.um.threaded
+        system.um.start()  # second start is a no-op
+        assert system.um.threaded
+        system.um.stop()
+        assert not system.um.threaded
+        system.um.stop()  # second stop is a no-op
+        system.um.start()  # fixture teardown needs a thread to stop
+
+    def test_ldap_path(self, system):
+        conn = system.connection()
+        conn.add(
+            "cn=A B,o=Marketing,o=Lucent",
+            person_attrs("A B", "B", definityExtension="4100"),
+        )
+        assert system.pbx().contains("4100")
+        assert system.messaging.contains("+1 908 582 4100")
+        assert system.consistent()
+
+    def test_ddu_path(self, system):
+        system.terminal().execute('add station 4200 name "Smith, Pat"')
+        (entry,) = system.find_person("(definityExtension=4200)")
+        assert entry.first("cn") == "Pat Smith"
+        assert system.consistent()
+
+    def test_coordinator_failure_surfaces_to_caller(self, system):
+        from repro.devices import InvalidFieldError
+
+        # A poisoned processing step propagates back to the blocked client.
+        def explode(item, session):
+            raise RuntimeError("coordinator exploded")
+
+        system.um._process = explode
+        with pytest.raises(RuntimeError, match="coordinator exploded"):
+            system.connection().add(
+                "cn=X,o=Marketing,o=Lucent",
+                person_attrs("X", "X", definityExtension="4300"),
+            )
+
+    def test_concurrent_clients(self, system):
+        errors = []
+
+        def client(i):
+            try:
+                conn = system.connection()
+                conn.add(
+                    f"cn=U{i},o=Marketing,o=Lucent",
+                    person_attrs(f"U{i}", "U", definityExtension=str(4100 + i)),
+                )
+                conn.modify(
+                    f"cn=U{i},o=Marketing,o=Lucent",
+                    [Modification.replace("definityRoom", f"R{i}")],
+                )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert system.pbx().size() == 6
+        assert system.consistent()
+
+    def test_locks_held_while_coordinator_works(self, system):
+        observed = []
+        original_process = system.um._process
+
+        def spying(item, session):
+            observed.append(system.gateway.locks.held_count() > 0)
+            return original_process(item, session)
+
+        system.um._process = spying
+        system.connection().add(
+            "cn=A B,o=Marketing,o=Lucent",
+            person_attrs("A B", "B", definityExtension="4100"),
+        )
+        assert observed and all(observed)
+
+    def test_sync_works_in_threaded_mode(self, system):
+        system.pbx()._records["4500"] = {"Extension": "4500", "Name": "Lone, Sam"}
+        report = system.sync.synchronize("definity")
+        assert report.added == 1
+        assert system.consistent()
