@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench stats
+
+## Tier-1: the full unit/integration suite (tests/ only).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Smoke: one benchmark file with metrics enabled — gates the
+## instrumentation overhead of the observability layer.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -m benchmarks -s -p no:cacheprovider
+
+## The full experiment harness (slow).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## Run the demo workload and dump metrics + traces.
+stats:
+	$(PYTHON) -m repro stats

@@ -1,0 +1,73 @@
+"""Smoke benchmark: instrumentation overhead of the observability layer.
+
+The metrics registry and trace spans sit on every hop of the update
+pipeline, so they must be cheap.  This compares the E1 mixed-stream
+workload with observability enabled vs disabled and asserts the enabled
+run stays close to the baseline.
+
+The design target is <10% overhead; the assertion bound is looser
+(OVERHEAD_BOUND) because single-run wall-clock ratios on shared CI
+machines are noisy — min-of-repeats tames most but not all of it.
+Run with::
+
+    pytest benchmarks/test_obs_overhead.py -m benchmarks --no-header -p no:cacheprovider
+"""
+
+import time
+
+import pytest
+from conftest import fresh_system
+
+from repro.workloads import (
+    apply_stream,
+    make_population,
+    make_stream,
+    populate_via_ldap,
+)
+
+#: Design target is 1.10; the gate leaves headroom for scheduler noise.
+OVERHEAD_BOUND = 1.35
+
+PEOPLE = 12
+EVENTS = 50
+REPEATS = 3
+
+
+def _run_workload(observability: bool) -> float:
+    """Best-of-REPEATS wall-clock for the E1-style mixed stream."""
+    best = float("inf")
+    for repeat in range(REPEATS):
+        system = fresh_system(observability=observability)
+        people = make_population(PEOPLE)
+        populate_via_ldap(system, people)
+        events = make_stream(people, EVENTS, ddu_fraction=0.3, seed=23)
+        start = time.perf_counter()
+        apply_stream(system, events)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmarks
+def test_instrumentation_overhead_is_bounded():
+    baseline = _run_workload(observability=False)
+    instrumented = _run_workload(observability=True)
+    ratio = instrumented / baseline
+    print(
+        f"\nobs overhead: baseline={baseline * 1e3:.1f}ms "
+        f"instrumented={instrumented * 1e3:.1f}ms ratio={ratio:.3f}"
+    )
+    assert ratio < OVERHEAD_BOUND, (
+        f"instrumentation overhead {ratio:.2f}x exceeds {OVERHEAD_BOUND}x "
+        f"(design target 1.10x)"
+    )
+
+
+@pytest.mark.benchmarks
+def test_instrumented_run_produces_traces_and_metrics():
+    system = fresh_system(observability=True)
+    people = make_population(4)
+    populate_via_ldap(system, people)
+    apply_stream(system, make_stream(people, 10, ddu_fraction=0.5, seed=5))
+    assert system.traces(), "no traces collected"
+    assert system.um.statistics["ldap_events"] > 0
+    assert "metacomm_um_sequence_seconds" in system.metrics_text()

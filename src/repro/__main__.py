@@ -5,6 +5,7 @@ Commands
 demo        the quickstart walk-through (default)
 tree        build and print the paper's Figure-2 sample tree as LDIF
 mappings    show the standard telecom mapping library (source + disassembly)
+stats       run the demo workload, dump metrics (Prometheus text) + traces
 experiments list the experiment harness and how to run it
 """
 
@@ -74,6 +75,38 @@ def cmd_mappings() -> int:
     return 0
 
 
+def cmd_stats() -> int:
+    """Run the demo workload and dump the pipeline's observability data.
+
+    Output is valid Prometheus text exposition format end to end: the
+    trace summaries are emitted as ``#``-prefixed comment lines, so the
+    whole thing can be piped straight into a scrape file.
+    """
+    from repro.core import MetaComm, MetaCommConfig
+    from repro.schemas import PERSON_CLASSES
+
+    system = MetaComm(MetaCommConfig(organizations=("Marketing",)))
+    conn = system.connection()
+    conn.add(
+        "cn=John Doe,o=Marketing,o=Lucent",
+        {
+            "objectClass": list(PERSON_CLASSES),
+            "cn": "John Doe",
+            "sn": "Doe",
+            "definityExtension": "4100",
+        },
+    )
+    system.terminal().execute("change station 4100 room 2B-110")
+
+    for trace in system.traces():
+        spans = ", ".join(
+            f"{span.name}={span.duration * 1e6:.0f}us" for span in trace.spans
+        )
+        print(f"# trace: {trace.trace_id} ({trace.name}): {spans}")
+    print(system.metrics_text(), end="")
+    return 0
+
+
 def cmd_experiments() -> int:
     print(
         "Experiment harness (one module per DESIGN.md row):\n"
@@ -90,6 +123,7 @@ COMMANDS = {
     "demo": cmd_demo,
     "tree": cmd_tree,
     "mappings": cmd_mappings,
+    "stats": cmd_stats,
     "experiments": cmd_experiments,
 }
 

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ...lexpress.descriptor import TargetAction, TargetUpdate, UpdateDescriptor
+from ...obs.metrics import MetricsRegistry
+from ...obs.views import StatsView
 
 
 class FilterError(Exception):
@@ -55,19 +57,51 @@ DduHandler = Callable[["Filter", UpdateDescriptor], None]
 class Filter(abc.ABC):
     """One repository adapter: protocol converter + mapper."""
 
-    def __init__(self, name: str, schema: str):
+    def __init__(
+        self,
+        name: str,
+        schema: str,
+        registry: MetricsRegistry | None = None,
+    ):
         #: Instance name, e.g. ``pbx-west`` (appears in Originator checks).
         self.name = name
         #: Schema name the repository speaks, e.g. ``pbx``.
         self.schema = schema
-        self.statistics = {
-            "applied": 0,
-            "skipped": 0,
-            "conditional": 0,
-            "recovered": 0,
-            "failed": 0,
-            "ddus": 0,
-        }
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._events = self.registry.counter(
+            "metacomm_filter_events_total",
+            "Per-repository apply outcomes and DDU notifications",
+            labelnames=("filter", "event"),
+        )
+        self._apply_seconds = self.registry.histogram(
+            "metacomm_filter_apply_seconds",
+            "Latency of applying one translated update at a repository",
+            labelnames=("filter",),
+        )
+        self.statistics = StatsView(
+            {
+                event: (
+                    lambda e=event: self._events.value_for(
+                        filter=self.name, event=e
+                    )
+                )
+                for event in (
+                    "applied",
+                    "skipped",
+                    "conditional",
+                    "recovered",
+                    "failed",
+                    "ddus",
+                )
+            }
+        )
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        self._events.labels(filter=self.name, event=event).inc(amount)
+
+    def _apply_timer(self):
+        """Histogram timer for one ``apply`` call (used by subclasses)."""
+        return self._apply_seconds.labels(filter=self.name).time()
 
     # -- unified repository API (section 4.1) ---------------------------------
 
@@ -87,13 +121,13 @@ class Filter(abc.ABC):
 
     def _track(self, result: ApplyResult, update: TargetUpdate) -> ApplyResult:
         if update.conditional:
-            self.statistics["conditional"] += 1
+            self._count("conditional")
         if result.recovered:
-            self.statistics["recovered"] += 1
+            self._count("recovered")
         if result.applied:
-            self.statistics["applied"] += 1
+            self._count("applied")
         else:
-            self.statistics["skipped"] += 1
+            self._count("skipped")
         return result
 
     def __repr__(self) -> str:

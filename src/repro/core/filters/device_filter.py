@@ -46,8 +46,14 @@ def _to_scalars(attrs: Mapping[str, list[str]]) -> dict[str, str]:
 class DeviceFilter(Filter):
     """Adapter between a legacy device and the Update Manager."""
 
-    def __init__(self, device: Device, schema: str, name: str | None = None):
-        super().__init__(name or device.name, schema)
+    def __init__(
+        self,
+        device: Device,
+        schema: str,
+        name: str | None = None,
+        registry=None,
+    ):
+        super().__init__(name or device.name, schema, registry=registry)
         self.device = device
         self._ddu_handler: DduHandler | None = None
         device.add_listener(self._on_notification)
@@ -63,7 +69,7 @@ class DeviceFilter(Filter):
             return  # our own propagated write coming back to us
         if self._ddu_handler is None:
             return  # running without MetaComm — the paper's requirement
-        self.statistics["ddus"] += 1
+        self._count("ddus")
         op = {
             "add": UpdateOp.ADD,
             "modify": UpdateOp.MODIFY,
@@ -105,11 +111,12 @@ class DeviceFilter(Filter):
     # -- applying updates -----------------------------------------------------------
 
     def apply(self, update: TargetUpdate) -> ApplyResult:
-        try:
-            return self._track(self._apply(update), update)
-        except DeviceError as exc:
-            self.statistics["failed"] += 1
-            raise FilterError(self.name, str(exc)) from exc
+        with self._apply_timer():
+            try:
+                return self._track(self._apply(update), update)
+            except DeviceError as exc:
+                self._count("failed")
+                raise FilterError(self.name, str(exc)) from exc
 
     def _apply(self, update: TargetUpdate) -> ApplyResult:
         action = update.action

@@ -54,8 +54,9 @@ class LdapFilter(Filter):
         default_container: DN | str | None = None,
         person_classes: Iterable[str] = PERSON_CLASSES,
         name: str = "ldap",
+        registry=None,
     ):
-        super().__init__(name, schema="ldap")
+        super().__init__(name, schema="ldap", registry=registry)
         self.gateway = gateway
         self.people_base = DN.parse(people_base) if isinstance(people_base, str) else people_base
         if default_container is None:
@@ -144,15 +145,16 @@ class LdapFilter(Filter):
     ) -> ApplyResult:
         suppressed_before = bool(session.state.get(SUPPRESS_TRIGGERS)) if session else False
         conn = self._connection(session, suppress=suppress)
-        try:
-            result = self._dispatch(update, conn)
-            return self._track(result, update)
-        except LdapError as exc:
-            self.statistics["failed"] += 1
-            raise FilterError(self.name, str(exc)) from exc
-        finally:
-            if suppress and session is not None and not suppressed_before:
-                session.state.pop(SUPPRESS_TRIGGERS, None)
+        with self._apply_timer():
+            try:
+                result = self._dispatch(update, conn)
+                return self._track(result, update)
+            except LdapError as exc:
+                self._count("failed")
+                raise FilterError(self.name, str(exc)) from exc
+            finally:
+                if suppress and session is not None and not suppressed_before:
+                    session.state.pop(SUPPRESS_TRIGGERS, None)
 
     def _dispatch(self, update: TargetUpdate, conn: LdapConnection) -> ApplyResult:
         if update.action is TargetAction.SKIP:

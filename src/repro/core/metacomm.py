@@ -28,6 +28,7 @@ from ..ldap.entry import Entry
 from ..ldap.server import LdapServer
 from ..lexpress.partition import PartitionConstraint
 from ..ltap.gateway import LtapGateway
+from ..obs import Observability, Trace
 from ..schemas.integrated import build_integrated_schema
 from ..schemas.mappings import DEFAULT_PHONE_PREFIX, standard_mappings
 from .errorlog import ErrorLog
@@ -64,6 +65,12 @@ class MetaCommConfig:
     #: Section 4.4 future work: saga-style compensation — undo the device
     #: updates already applied in an aborted sequence.
     undo_on_failure: bool = False
+    #: Collect metrics and per-update traces (repro.obs).  Disabling turns
+    #: every instrument into a no-op — the baseline of the overhead
+    #: benchmark.
+    observability: bool = True
+    #: How many recent update traces the ring buffer retains.
+    trace_capacity: int = 256
 
 
 class MetaComm:
@@ -73,13 +80,28 @@ class MetaComm:
         self.config = config or MetaCommConfig()
         suffix = DN.parse(self.config.suffix)
 
+        #: This system's metrics registry + trace ring buffer.  Every
+        #: component below reports here, so one scrape (``metrics_text``)
+        #: or one trace query covers the whole Figure-1 pipeline.
+        self.obs = Observability(
+            enabled=self.config.observability,
+            trace_capacity=self.config.trace_capacity,
+        )
         self.schema = build_integrated_schema()
         self.server = LdapServer(
-            [suffix], schema=self.schema, server_id="metacomm"
+            [suffix],
+            schema=self.schema,
+            server_id="metacomm",
+            registry=self.obs.registry,
         )
         self._bootstrap_tree(suffix)
 
-        self.gateway = LtapGateway(self.server, lock_timeout=self.config.lock_timeout)
+        self.gateway = LtapGateway(
+            self.server,
+            lock_timeout=self.config.lock_timeout,
+            registry=self.obs.registry,
+            tracer=self.obs.tracer,
+        )
         self.error_log = ErrorLog(self.server, suffix)
         self.mappings = standard_mappings(self.config.phone_prefix)
 
@@ -92,6 +114,7 @@ class MetaComm:
             self.gateway,
             people_base=suffix,
             default_container=people_container,
+            registry=self.obs.registry,
         )
 
         self.pbxes: dict[str, DefinityPbx] = {}
@@ -101,7 +124,9 @@ class MetaComm:
             self.pbxes[pbx.name] = pbx
             bindings.append(
                 DeviceBinding(
-                    filter=DeviceFilter(pbx, schema="pbx"),
+                    filter=DeviceFilter(
+                        pbx, schema="pbx", registry=self.obs.registry
+                    ),
                     to_ldap=self.mappings["pbx_to_ldap"],
                     from_ldap=self.mappings["ldap_to_pbx"],
                     partition=PartitionConstraint.compile(partition_expression(pbx)),
@@ -113,7 +138,9 @@ class MetaComm:
             self.messaging = MessagingPlatform(self.config.messaging_name)
             bindings.append(
                 DeviceBinding(
-                    filter=DeviceFilter(self.messaging, schema="mp"),
+                    filter=DeviceFilter(
+                        self.messaging, schema="mp", registry=self.obs.registry
+                    ),
                     to_ldap=self.mappings["mp_to_ldap"],
                     from_ldap=self.mappings["ldap_to_mp"],
                 )
@@ -127,6 +154,8 @@ class MetaComm:
             self.error_log,
             abort_on_failure=self.config.abort_on_failure,
             undo_on_failure=self.config.undo_on_failure,
+            registry=self.obs.registry,
+            tracer=self.obs.tracer,
         )
         self.sync = Synchronizer(self.um)
         self.suffix = suffix
@@ -190,6 +219,23 @@ class MetaComm:
 
     def find_person(self, filter_text: str) -> list[Entry]:
         return self.connection().search(self.suffix, filter=filter_text)
+
+    # -- observability ---------------------------------------------------------------
+
+    def traces(self, name: str | None = None) -> list[Trace]:
+        """Recent update traces (``name``: ``"update"`` or ``"ddu"``)."""
+        return self.obs.tracer.traces(name)
+
+    def last_trace(self, name: str | None = None) -> Trace | None:
+        return self.obs.tracer.last(name)
+
+    def metrics_text(self) -> str:
+        """This system's metrics in Prometheus text exposition format."""
+        return self.obs.prometheus()
+
+    def metrics_json(self) -> str:
+        """Metrics + trace ring buffer as a JSON document."""
+        return self.obs.json()
 
     def consistent(self) -> bool:
         """Global consistency check: every device record matches the

@@ -8,16 +8,22 @@ order."
 
 The queue is a plain FIFO with a serial number per item — the serial *is*
 the system-wide serialization order that makes the reapplication technique
-converge.
+converge.  Items are stamped with their enqueue time so the dequeue path
+can feed the enqueue→dequeue latency histogram (queue lag is the paper's
+"converge after some delay", made measurable).
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass
+import time
+from collections import deque
+from dataclasses import dataclass, field
 
 from ..lexpress.descriptor import UpdateDescriptor
+from ..obs.metrics import MetricsRegistry
+from ..obs.views import StatsView
 
 
 @dataclass(frozen=True)
@@ -26,31 +32,61 @@ class QueuedUpdate:
 
     serial: int
     descriptor: UpdateDescriptor
+    #: ``time.perf_counter()`` at enqueue (0.0 for hand-built items).
+    enqueued_at: float = field(default=0.0, compare=False)
 
 
 class GlobalUpdateQueue:
     """FIFO of update descriptors with a global serialization order."""
 
-    def __init__(self) -> None:
-        self._items: list[QueuedUpdate] = []
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._items: deque[QueuedUpdate] = deque()
         self._serials = itertools.count(1)
         self._lock = threading.Lock()
-        self.statistics = {"enqueued": 0, "processed": 0}
+        registry = registry if registry is not None else MetricsRegistry()
+        self._enqueued = registry.counter(
+            "metacomm_queue_enqueued_total",
+            "Update descriptors appended to the global queue",
+        )
+        self._processed = registry.counter(
+            "metacomm_queue_processed_total",
+            "Update descriptors removed from the global queue",
+        )
+        self._depth = registry.gauge(
+            "metacomm_queue_depth",
+            "Update descriptors currently waiting in the global queue",
+        )
+        self._wait = registry.histogram(
+            "metacomm_queue_wait_seconds",
+            "Enqueue-to-dequeue latency of the global queue",
+        )
+        self.statistics = StatsView(
+            {
+                "enqueued": lambda: self._enqueued.value,
+                "processed": lambda: self._processed.value,
+            }
+        )
 
     def enqueue(self, descriptor: UpdateDescriptor) -> QueuedUpdate:
-        item = QueuedUpdate(next(self._serials), descriptor)
+        item = QueuedUpdate(
+            next(self._serials), descriptor, time.perf_counter()
+        )
         with self._lock:
             self._items.append(item)
-            self.statistics["enqueued"] += 1
+            self._enqueued.inc()
+            self._depth.set(len(self._items))
         return item
 
     def dequeue(self) -> QueuedUpdate | None:
         with self._lock:
             if not self._items:
                 return None
-            item = self._items.pop(0)
-            self.statistics["processed"] += 1
-            return item
+            item = self._items.popleft()
+            self._processed.inc()
+            self._depth.set(len(self._items))
+        if item.enqueued_at:
+            self._wait.observe(time.perf_counter() - item.enqueued_at)
+        return item
 
     def __len__(self) -> int:
         with self._lock:

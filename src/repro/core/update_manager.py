@@ -32,6 +32,7 @@ The flow implemented here is the paper's:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, replace
 from typing import Iterable
 
@@ -51,6 +52,9 @@ from ..lexpress.partition import PartitionConstraint
 from ..ltap.connection import ConnectionManager
 from ..ltap.gateway import LtapGateway
 from ..ltap.triggers import Trigger, TriggerEvent
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import OBS_TRACE, Tracer, trace_span
+from ..obs.views import StatsView
 from .errorlog import ErrorLog
 from .filters.base import Filter, FilterError
 from .filters.device_filter import DeviceFilter
@@ -84,6 +88,8 @@ class UpdateManager:
         error_log: ErrorLog,
         abort_on_failure: bool = True,
         undo_on_failure: bool = False,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         self.server = server
         self.gateway = gateway
@@ -94,18 +100,71 @@ class UpdateManager:
         #: Section 4.4 future work: compensate already-applied device
         #: updates when a later one fails — the saga technique.
         self.undo_on_failure = undo_on_failure
-        self.queue = GlobalUpdateQueue()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.queue = GlobalUpdateQueue(registry=self.registry)
         self.connections = ConnectionManager(self._handle_connection_event)
         self._thread: threading.Thread | None = None
-        self.statistics = {
-            "ldap_events": 0,
-            "ddus": 0,
-            "fanned_out": 0,
-            "reapplied": 0,
-            "supplemental_writes": 0,
-            "aborted_sequences": 0,
-            "compensated": 0,
-        }
+        #: How long a blocked trigger waits for the coordinator thread to
+        #: finish one sequence before giving up (section 4.4's serialized
+        #: discipline means a stuck sequence must surface, not hang).
+        self.coordinator_timeout: float = 30.0
+        self._ldap_events = self.registry.counter(
+            "metacomm_um_ldap_events_total",
+            "Trigger events received from LTAP (LDAP-originated updates)",
+        )
+        self._ddus = self.registry.counter(
+            "metacomm_um_ddus_total",
+            "Direct device updates received from device filters",
+            labelnames=("device",),
+        )
+        self._fanout = self.registry.counter(
+            "metacomm_um_fanout_total",
+            "Translated updates applied to device repositories",
+            labelnames=("device",),
+        )
+        self._reapplied = self.registry.counter(
+            "metacomm_um_reapplied_total",
+            "Conditional reapplications to an update's originating device "
+            "(the section-5.4 write-write consistency technique)",
+            labelnames=("device",),
+        )
+        self._aborted = self.registry.counter(
+            "metacomm_um_aborted_sequences_total",
+            "Update sequences aborted by a repository rejection",
+            labelnames=("target",),
+        )
+        self._compensated = self.registry.counter(
+            "metacomm_um_compensated_total",
+            "Saga-style compensations of already-applied device updates",
+            labelnames=("device",),
+        )
+        self._supplemental = self.registry.counter(
+            "metacomm_um_supplemental_writes_total",
+            "Supplemental LDAP writes (closure-derived and "
+            "device-generated attributes folded back, section 5.5)",
+        )
+        self._connection_events = self.registry.counter(
+            "metacomm_um_connection_events_total",
+            "Events delivered over explicit LTAP action connections",
+            labelnames=("kind",),
+        )
+        self._sequence_seconds = self.registry.histogram(
+            "metacomm_um_sequence_seconds",
+            "Duration of one full update sequence (closure, fan-out, "
+            "supplemental write)",
+        )
+        self.statistics = StatsView(
+            {
+                "ldap_events": lambda: self._ldap_events.value,
+                "ddus": lambda: self._ddus.total(),
+                "fanned_out": lambda: self._fanout.total(),
+                "reapplied": lambda: self._reapplied.total(),
+                "supplemental_writes": lambda: self._supplemental.value,
+                "aborted_sequences": lambda: self._aborted.total(),
+                "compensated": lambda: self._compensated.total(),
+            }
+        )
 
         mappings: dict[str, CompiledMapping] = {}
         for binding in self.bindings:
@@ -129,7 +188,12 @@ class UpdateManager:
     def _handle_connection_event(self, event, connection) -> None:
         # Events arriving over explicit connections are already descriptors
         # processed elsewhere; the manager only tracks them for statistics.
-        pass
+        kind = (
+            "persistent"
+            if getattr(connection, "persistent", False)
+            else "single_shot"
+        )
+        self._connection_events.labels(kind=kind).inc()
 
     # -- threaded coordinator (the paper's "main thread of the UM") -----------------
 
@@ -183,7 +247,7 @@ class UpdateManager:
     # -- LDAP event intake ---------------------------------------------------------
 
     def _on_ldap_event(self, event: TriggerEvent) -> None:
-        self.statistics["ldap_events"] += 1
+        self._ldap_events.inc()
         descriptor = self._descriptor_from_event(event)
         if descriptor is None:
             return
@@ -195,7 +259,7 @@ class UpdateManager:
             # FIFO discipline is preserved: enqueue/dequeue happen inside
             # the entry lock, and the coordinator consumes jobs in order.
             self._work.put((dequeued or item, event.session, done, failure))
-            if not done.wait(timeout=30):
+            if not done.wait(timeout=self.coordinator_timeout):
                 raise RuntimeError("coordinator did not complete the sequence")
             if failure:
                 raise failure[0]
@@ -245,20 +309,38 @@ class UpdateManager:
 
     def _on_ddu(self, source_filter: Filter, descriptor: UpdateDescriptor) -> None:
         """Section 4.4's DDU sequence: device filter → LDAP filter → LTAP."""
-        self.statistics["ddus"] += 1
         binding = self._binding_of(source_filter)
-        update = binding.to_ldap.translate(descriptor)
-        if update is None or update.action is TargetAction.SKIP:
-            return
+        self._ddus.labels(device=binding.name).inc()
+        trace = (
+            self.tracer.start("ddu", device=binding.name, key=str(descriptor.key))
+            if self.tracer is not None
+            else None
+        )
         try:
-            self.ldap_filter.forward_ddu(update, origin=binding.name)
-        except FilterError as exc:
-            self.statistics["aborted_sequences"] += 1
-            self.error_log.record(
-                target="ldap",
-                message=str(exc),
-                context=f"DDU from {binding.name} key={descriptor.key}",
-            )
+            with trace_span(trace, "ddu.translate", device=binding.name):
+                update = binding.to_ldap.translate(descriptor)
+            if update is None or update.action is TargetAction.SKIP:
+                return
+            session = Session()
+            if trace is not None:
+                session.state[OBS_TRACE] = trace
+            try:
+                with trace_span(trace, "ddu.forward", device=binding.name):
+                    self.ldap_filter.forward_ddu(
+                        update, origin=binding.name, session=session
+                    )
+            except FilterError as exc:
+                self._aborted.labels(target="ldap").inc()
+                self.error_log.record(
+                    target="ldap",
+                    message=str(exc),
+                    context=f"DDU from {binding.name} key={descriptor.key}",
+                )
+            finally:
+                session.state.pop(OBS_TRACE, None)
+        finally:
+            if trace is not None:
+                trace.finish()
 
     def _binding_of(self, source_filter: Filter) -> DeviceBinding:
         for binding in self.bindings:
@@ -276,11 +358,31 @@ class UpdateManager:
             self._process(item, session)
 
     def _process(self, item: QueuedUpdate, session: Session) -> None:
+        trace = (
+            session.state.get(OBS_TRACE) if session is not None else None
+        )
+        start = time.perf_counter()
+        if trace is not None and item.enqueued_at:
+            # The enqueue→dequeue leg: its endpoints live in different
+            # frames (and, in threaded mode, different threads), so it is
+            # recorded from the enqueue stamp rather than measured inline.
+            trace.record(
+                "queue.wait", start - item.enqueued_at, serial=item.serial
+            )
+        try:
+            self._run_sequence(item, session, trace)
+        finally:
+            self._sequence_seconds.observe(time.perf_counter() - start)
+
+    def _run_sequence(
+        self, item: QueuedUpdate, session: Session, trace
+    ) -> None:
         descriptor = item.descriptor
         if descriptor.op is UpdateOp.DELETE:
             enriched = descriptor
         else:
-            enriched = self._enrich(descriptor)
+            with trace_span(trace, "closure.enrich"):
+                enriched = self._enrich(descriptor)
 
         supplemental: dict[str, list[str]] = self._closure_supplement(
             descriptor, enriched
@@ -300,25 +402,33 @@ class UpdateManager:
                 if (update.old_key or update.key) is not None
                 else None
             )
-            try:
-                result = binding.filter.apply(update)
-            except FilterError as exc:
-                self.statistics["aborted_sequences"] += 1
-                self.error_log.record(
-                    target=binding.name,
-                    message=exc.message,
-                    context=f"update serial={item.serial} key={update.key}",
-                )
-                if self.undo_on_failure:
-                    self._compensate(applied)
-                if self.abort_on_failure:
-                    aborted = True
-                    break
-                continue
+            with trace_span(
+                trace,
+                "filter.apply",
+                device=binding.name,
+                conditional=update.conditional,
+            ) as span:
+                try:
+                    result = binding.filter.apply(update)
+                except FilterError as exc:
+                    if span is not None:
+                        span.attributes["error"] = exc.message
+                    self._aborted.labels(target=binding.name).inc()
+                    self.error_log.record(
+                        target=binding.name,
+                        message=exc.message,
+                        context=f"update serial={item.serial} key={update.key}",
+                    )
+                    if self.undo_on_failure:
+                        self._compensate(applied, trace)
+                    if self.abort_on_failure:
+                        aborted = True
+                        break
+                    continue
             applied.append((binding, update, before))
-            self.statistics["fanned_out"] += 1
+            self._fanout.labels(device=binding.name).inc()
             if update.conditional:
-                self.statistics["reapplied"] += 1
+                self._reapplied.labels(device=binding.name).inc()
             if update.key is not None and (
                 update.action is TargetAction.ADD or result.recovered
             ):
@@ -338,21 +448,28 @@ class UpdateManager:
         if supplemental and descriptor.op is not UpdateOp.DELETE:
             dn = DN.parse(descriptor.key) if descriptor.key else None
             if dn is not None:
-                applied = self.ldap_filter.apply_supplemental(
-                    dn, supplemental, session
-                )
-                if applied:
-                    self.statistics["supplemental_writes"] += 1
+                # NB: the result deliberately does not reuse the name
+                # `applied` — that is the saga compensation list above.
+                with trace_span(trace, "ldap.supplemental") as span:
+                    wrote = self.ldap_filter.apply_supplemental(
+                        dn, supplemental, session
+                    )
+                    if span is not None:
+                        span.attributes["wrote"] = wrote
+                if wrote:
+                    self._supplemental.inc()
 
     def _compensate(
         self,
         applied: list[tuple[DeviceBinding, TargetUpdate, dict | None]],
+        trace=None,
     ) -> None:
         """Undo already-applied device updates in reverse order (sagas)."""
         for binding, update, before in reversed(applied):
             try:
-                binding.filter.compensate(update, before)
-                self.statistics["compensated"] += 1
+                with trace_span(trace, "filter.compensate", device=binding.name):
+                    binding.filter.compensate(update, before)
+                self._compensated.labels(device=binding.name).inc()
             except Exception as exc:  # compensation is best-effort
                 self.error_log.record(
                     target=binding.name,

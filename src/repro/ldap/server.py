@@ -29,6 +29,8 @@ from .protocol import (
 )
 from .result import LdapError, ResultCode
 from .schema import Schema
+from ..obs.metrics import MetricsRegistry
+from ..obs.views import StatsView
 
 
 class LdapServer:
@@ -56,13 +58,34 @@ class LdapServer:
         root_dn: str = "cn=Directory Manager",
         root_password: str = "secret",
         require_bind_for_writes: bool = False,
+        registry: MetricsRegistry | None = None,
     ):
         self.backend = Backend(suffixes, schema=schema, server_id=server_id)
         self.server_id = server_id
         self.root_dn = DN.parse(root_dn)
         self.root_password = root_password
         self.require_bind_for_writes = require_bind_for_writes
-        self.statistics = {"reads": 0, "writes": 0, "binds": 0}
+        registry = registry if registry is not None else MetricsRegistry()
+        self._ops = registry.counter(
+            "metacomm_ldap_ops_total",
+            "LDAP operations processed by the server, by operation type",
+            labelnames=("op",),
+        )
+        self.statistics = StatsView(
+            {
+                "reads": lambda: (
+                    self._ops.value_for(op="search")
+                    + self._ops.value_for(op="compare")
+                ),
+                "writes": lambda: (
+                    self._ops.value_for(op="add")
+                    + self._ops.value_for(op="delete")
+                    + self._ops.value_for(op="modify")
+                    + self._ops.value_for(op="modifyrdn")
+                ),
+                "binds": lambda: self._ops.value_for(op="bind"),
+            }
+        )
 
     # -- listener plumbing (used by LTAP and replication) --------------------
 
@@ -92,7 +115,7 @@ class LdapServer:
             session.bound_dn = None
             return LdapResponse(LdapResult())
         if isinstance(request, SearchRequest):
-            self.statistics["reads"] += 1
+            self._ops.labels(op="search").inc()
             entries = self.backend.search(
                 request.base,
                 request.scope,
@@ -102,7 +125,7 @@ class LdapServer:
             )
             return LdapResponse(LdapResult(), entries)
         if isinstance(request, CompareRequest):
-            self.statistics["reads"] += 1
+            self._ops.labels(op="compare").inc()
             matched = self.backend.compare(
                 request.dn, request.attribute, request.value
             )
@@ -111,17 +134,20 @@ class LdapServer:
 
         # Everything below is a write.
         self._check_write_access(session)
-        self.statistics["writes"] += 1
         if isinstance(request, AddRequest):
+            self._ops.labels(op="add").inc()
             self.backend.add(request.entry)
             return LdapResponse(LdapResult())
         if isinstance(request, DeleteRequest):
+            self._ops.labels(op="delete").inc()
             self.backend.delete(request.dn)
             return LdapResponse(LdapResult())
         if isinstance(request, ModifyRequest):
+            self._ops.labels(op="modify").inc()
             self.backend.modify(request.dn, request.modifications)
             return LdapResponse(LdapResult())
         if isinstance(request, ModifyRdnRequest):
+            self._ops.labels(op="modifyrdn").inc()
             self.backend.modify_rdn(
                 request.dn, request.new_rdn, request.delete_old_rdn
             )
@@ -138,7 +164,7 @@ class LdapServer:
             )
 
     def _bind(self, request: BindRequest, session: Session) -> LdapResponse:
-        self.statistics["binds"] += 1
+        self._ops.labels(op="bind").inc()
         if request.dn.is_root() and not request.password:
             session.bound_dn = None  # anonymous bind
             return LdapResponse(LdapResult())

@@ -10,11 +10,21 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
+from ..obs.metrics import global_registry
 from .bytecode import CodeObject, Op
 from .errors import LexpressRuntimeError
 from .functions import lookup
 
 Value = Any  # None | str | bool | list[str]
+
+#: Executed-instruction counter.  The interpreter is module-level code with
+#: no instance to hang a per-system registry on, so it reports into the
+#: process-wide registry; the count is accumulated locally per run and
+#: flushed once, keeping the dispatch loop branch-free.
+_INSTRUCTIONS = global_registry().counter(
+    "lexpress_instructions_total",
+    "Byte-code instructions executed by the lexpress interpreter",
+)
 
 
 def truthy(value: Value) -> bool:
@@ -51,107 +61,113 @@ def execute(
 def _run(code: CodeObject, frame: _Frame) -> Value:
     stack: list[Value] = []
     pc = 0
+    executed = 0
     instructions = code.instructions
     consts = code.consts
-    while pc < len(instructions):
-        ins = instructions[pc]
-        op = ins.op
-        pc += 1
-        if op is Op.PUSH:
-            stack.append(consts[ins.arg])
-        elif op is Op.LOAD_ATTR:
-            values = frame.attrs.get(consts[ins.arg].lower(), [])
-            stack.append(str(values[0]) if values else None)
-        elif op is Op.LOAD_ALL:
-            values = frame.attrs.get(consts[ins.arg].lower(), [])
-            stack.append([str(v) for v in values])
-        elif op is Op.LOAD_GROUP:
-            index = ins.arg
-            if index < len(frame.groups):
-                stack.append(frame.groups[index])
-            else:
-                stack.append(None)
-        elif op is Op.LOAD_VALUE:
-            stack.append(frame.value)
-        elif op is Op.CALL:
-            name_idx, argc = ins.arg
-            fn = lookup(consts[name_idx])
-            if argc:
-                args = stack[-argc:]
-                del stack[-argc:]
-            else:
-                args = []
-            try:
-                stack.append(fn(*args))
-            except TypeError as exc:
-                raise LexpressRuntimeError(
-                    f"{consts[name_idx]}: {exc}"
-                ) from None
-        elif op is Op.MATCH_RE:
-            subject = stack.pop()
-            if subject is None:
-                stack.append(False)
-                continue
-            match = consts[ins.arg].search(str(subject))
-            if match:
-                frame.groups = [match.group(0), *match.groups()]
-                stack.append(True)
-            else:
-                stack.append(False)
-        elif op is Op.MATCH_LIT:
-            subject = stack.pop()
-            literal = consts[ins.arg]
-            matched = subject is not None and str(subject) == literal
-            if matched:
-                frame.groups = [str(subject)]
-            stack.append(matched)
-        elif op is Op.EACH_APPLY:
-            body: CodeObject = consts[ins.arg]
-            values = stack.pop()
-            if values is None:
-                values = []
-            if not isinstance(values, list):
-                values = [values]
-            results: list[str] = []
-            for element in values:
-                sub = _Frame(frame.attrs, str(element))
-                sub.attrs = frame.attrs  # share, no copy needed
-                result = _run(body, sub)
-                if result is None:
-                    continue
-                if isinstance(result, list):
-                    results.extend(str(r) for r in result)
-                elif isinstance(result, bool):
-                    results.append("true" if result else "false")
+    try:
+        while pc < len(instructions):
+            ins = instructions[pc]
+            op = ins.op
+            pc += 1
+            executed += 1
+            if op is Op.PUSH:
+                stack.append(consts[ins.arg])
+            elif op is Op.LOAD_ATTR:
+                values = frame.attrs.get(consts[ins.arg].lower(), [])
+                stack.append(str(values[0]) if values else None)
+            elif op is Op.LOAD_ALL:
+                values = frame.attrs.get(consts[ins.arg].lower(), [])
+                stack.append([str(v) for v in values])
+            elif op is Op.LOAD_GROUP:
+                index = ins.arg
+                if index < len(frame.groups):
+                    stack.append(frame.groups[index])
                 else:
-                    results.append(str(result))
-            stack.append(results)
-        elif op is Op.DUP:
-            stack.append(stack[-1])
-        elif op is Op.POP:
-            stack.pop()
-        elif op is Op.IS_NULL:
-            stack.append(stack.pop() is None)
-        elif op is Op.EQ:
-            right, left = stack.pop(), stack.pop()
-            stack.append(_equal(left, right))
-        elif op is Op.NEQ:
-            right, left = stack.pop(), stack.pop()
-            stack.append(not _equal(left, right))
-        elif op is Op.NOT:
-            stack.append(not truthy(stack.pop()))
-        elif op is Op.JUMP:
-            pc = ins.arg
-        elif op is Op.JUMP_IF_FALSE:
-            if not truthy(stack.pop()):
+                    stack.append(None)
+            elif op is Op.LOAD_VALUE:
+                stack.append(frame.value)
+            elif op is Op.CALL:
+                name_idx, argc = ins.arg
+                fn = lookup(consts[name_idx])
+                if argc:
+                    args = stack[-argc:]
+                    del stack[-argc:]
+                else:
+                    args = []
+                try:
+                    stack.append(fn(*args))
+                except TypeError as exc:
+                    raise LexpressRuntimeError(
+                        f"{consts[name_idx]}: {exc}"
+                    ) from None
+            elif op is Op.MATCH_RE:
+                subject = stack.pop()
+                if subject is None:
+                    stack.append(False)
+                    continue
+                match = consts[ins.arg].search(str(subject))
+                if match:
+                    frame.groups = [match.group(0), *match.groups()]
+                    stack.append(True)
+                else:
+                    stack.append(False)
+            elif op is Op.MATCH_LIT:
+                subject = stack.pop()
+                literal = consts[ins.arg]
+                matched = subject is not None and str(subject) == literal
+                if matched:
+                    frame.groups = [str(subject)]
+                stack.append(matched)
+            elif op is Op.EACH_APPLY:
+                body: CodeObject = consts[ins.arg]
+                values = stack.pop()
+                if values is None:
+                    values = []
+                if not isinstance(values, list):
+                    values = [values]
+                results: list[str] = []
+                for element in values:
+                    sub = _Frame(frame.attrs, str(element))
+                    sub.attrs = frame.attrs  # share, no copy needed
+                    result = _run(body, sub)
+                    if result is None:
+                        continue
+                    if isinstance(result, list):
+                        results.extend(str(r) for r in result)
+                    elif isinstance(result, bool):
+                        results.append("true" if result else "false")
+                    else:
+                        results.append(str(result))
+                stack.append(results)
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+            elif op is Op.POP:
+                stack.pop()
+            elif op is Op.IS_NULL:
+                stack.append(stack.pop() is None)
+            elif op is Op.EQ:
+                right, left = stack.pop(), stack.pop()
+                stack.append(_equal(left, right))
+            elif op is Op.NEQ:
+                right, left = stack.pop(), stack.pop()
+                stack.append(not _equal(left, right))
+            elif op is Op.NOT:
+                stack.append(not truthy(stack.pop()))
+            elif op is Op.JUMP:
                 pc = ins.arg
-        elif op is Op.JUMP_IF_TRUE:
-            if truthy(stack.pop()):
-                pc = ins.arg
-        elif op is Op.RETURN:
-            return stack.pop() if stack else None
-        else:  # pragma: no cover - opcode set is closed
-            raise LexpressRuntimeError(f"bad opcode {op}")
+            elif op is Op.JUMP_IF_FALSE:
+                if not truthy(stack.pop()):
+                    pc = ins.arg
+            elif op is Op.JUMP_IF_TRUE:
+                if truthy(stack.pop()):
+                    pc = ins.arg
+            elif op is Op.RETURN:
+                return stack.pop() if stack else None
+            else:  # pragma: no cover - opcode set is closed
+                raise LexpressRuntimeError(f"bad opcode {op}")
+    finally:
+        if executed:
+            _INSTRUCTIONS.inc(executed)
     raise LexpressRuntimeError(f"code {code.name!r} fell off the end")
 
 

@@ -51,6 +51,9 @@ from ..ldap.protocol import (
 )
 from ..ldap.result import BusyError, LdapError, ResultCode
 from ..ldap.server import LdapServer
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import OBS_TRACE, Trace, Tracer, trace_span
+from ..obs.views import StatsView
 from .acl import AccessControl
 from .locks import LockManager
 from .triggers import Trigger, TriggerEvent, TriggerRegistry, TriggerTiming
@@ -86,6 +89,8 @@ class LtapGateway:
         library_mode: bool = False,
         read_tax: Callable[[], None] | None = None,
         access_control: "AccessControl | None" = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         self.server = server
         #: Optional section-7 security model (see :mod:`repro.ltap.acl`).
@@ -94,14 +99,45 @@ class LtapGateway:
         self.triggers = TriggerRegistry()
         self.library_mode = library_mode
         self.read_tax = read_tax
+        self.tracer = tracer
         self._quiesce_lock = threading.Condition()
         self._quiesce_owner: Session | None = None
-        self.statistics = {
-            "reads_forwarded": 0,
-            "updates_processed": 0,
-            "updates_rejected": 0,
-            "quiesce_waits": 0,
-        }
+        registry = registry if registry is not None else MetricsRegistry()
+        self._requests = registry.counter(
+            "metacomm_ltap_requests_total",
+            "LDAP requests intercepted by the LTAP gateway",
+            labelnames=("kind",),
+        )
+        self._rejected = registry.counter(
+            "metacomm_ltap_updates_rejected_total",
+            "Updates rejected by LTAP (veto, lock timeout, server error)",
+        )
+        self._quiesce_waits = registry.counter(
+            "metacomm_ltap_quiesce_waits_total",
+            "Updates turned away while a synchronization quiesce was held",
+        )
+        self._trigger_fires = registry.counter(
+            "metacomm_ltap_trigger_fires_total",
+            "Trigger-processing passes run by the gateway",
+            labelnames=("timing",),
+        )
+        self._process_seconds = registry.histogram(
+            "metacomm_ltap_process_seconds",
+            "End-to-end latency of one update through the gateway "
+            "(locks, triggers, server forward, the whole UM sequence)",
+        )
+        self.statistics = StatsView(
+            {
+                "reads_forwarded": lambda: self._requests.value_for(
+                    kind="read"
+                ),
+                "updates_processed": lambda: self._requests.value_for(
+                    kind="update"
+                ),
+                "updates_rejected": lambda: self._rejected.value,
+                "quiesce_waits": lambda: self._quiesce_waits.value,
+            }
+        )
 
     # -- trigger management -----------------------------------------------
 
@@ -141,7 +177,7 @@ class LtapGateway:
     def _check_quiesce(self, session: Session) -> None:
         with self._quiesce_lock:
             if self._quiesce_owner is not None and self._quiesce_owner is not session:
-                self.statistics["quiesce_waits"] += 1
+                self._quiesce_waits.inc()
                 raise BusyError(
                     "directory updates are quiesced while a synchronization "
                     "request is being processed"
@@ -163,7 +199,7 @@ class LtapGateway:
                     return LdapResponse(
                         LdapResult(exc.code, exc.matched_dn, exc.message)
                     )
-            self.statistics["reads_forwarded"] += 1
+            self._requests.labels(kind="read").inc()
             if self.library_mode and self.read_tax is not None:
                 self.read_tax()
             return self.server.process(request, session)
@@ -172,39 +208,75 @@ class LtapGateway:
                 self.access_control.check_request(request, session)
             return self._process_update(request, session)
         except LdapError as exc:
-            self.statistics["updates_rejected"] += 1
+            self._rejected.inc()
             return LdapResponse(LdapResult(exc.code, exc.matched_dn, exc.message))
 
     def _process_update(self, request: LdapRequest, session: Session) -> LdapResponse:
         self._check_quiesce(session)
         change_type, dn = self._classify(request)
-        self.locks.acquire(dn, session)
+        trace, owns_trace = self._begin_trace(session, change_type, dn)
+        start = time.perf_counter()
         try:
-            before = self._snapshot(dn)
-            fire = not session.state.get(SUPPRESS_TRIGGERS)
-            if fire:
-                self.triggers.fire(
-                    TriggerEvent(
-                        change_type, dn, request, before, None, session,
-                        TriggerTiming.BEFORE,
-                    )
-                )
-            response = self.server.process(request, session)
-            if not response.result.ok:
+            self.locks.acquire(dn, session)
+            try:
+                before = self._snapshot(dn)
+                fire = not session.state.get(SUPPRESS_TRIGGERS)
+                if fire:
+                    self._trigger_fires.labels(timing="before").inc()
+                    with trace_span(trace, "ltap.trigger", timing="before"):
+                        self.triggers.fire(
+                            TriggerEvent(
+                                change_type, dn, request, before, None, session,
+                                TriggerTiming.BEFORE,
+                            )
+                        )
+                with trace_span(trace, "ltap.server"):
+                    response = self.server.process(request, session)
+                if not response.result.ok:
+                    return response
+                self._requests.labels(kind="update").inc()
+                after_dn = self._result_dn(request, dn)
+                after = self._snapshot(after_dn)
+                if fire:
+                    self._trigger_fires.labels(timing="after").inc()
+                    with trace_span(trace, "ltap.trigger", timing="after"):
+                        self.triggers.fire(
+                            TriggerEvent(
+                                change_type, dn, request, before, after, session,
+                                TriggerTiming.AFTER,
+                            )
+                        )
                 return response
-            self.statistics["updates_processed"] += 1
-            after_dn = self._result_dn(request, dn)
-            after = self._snapshot(after_dn)
-            if fire:
-                self.triggers.fire(
-                    TriggerEvent(
-                        change_type, dn, request, before, after, session,
-                        TriggerTiming.AFTER,
-                    )
-                )
-            return response
+            finally:
+                self.locks.release(dn, session)
         finally:
-            self.locks.release(dn, session)
+            self._process_seconds.observe(time.perf_counter() - start)
+            if owns_trace:
+                session.state.pop(OBS_TRACE, None)
+                trace.finish()
+
+    def _begin_trace(
+        self, session: Session, change_type: ChangeType, dn: DN
+    ) -> tuple["Trace | None", bool]:
+        """Start (or join) the trace following this update sequence.
+
+        A fresh trace is opened for a triggering update and stamped into
+        the session, where the Update Manager finds it.  Re-entrant writes
+        on the same session — the supplemental LDAP write, a forwarded DDU
+        — join the existing trace so the whole journey is one record.
+        Suppressed-trigger writes never open traces of their own."""
+        if self.tracer is None:
+            return None, False
+        trace = session.state.get(OBS_TRACE)
+        if trace is not None:
+            return trace, False
+        if session.state.get(SUPPRESS_TRIGGERS):
+            return None, False
+        trace = self.tracer.start("update", op=change_type.value, dn=str(dn))
+        if trace is None:
+            return None, False
+        session.state[OBS_TRACE] = trace
+        return trace, True
 
     @staticmethod
     def _classify(request: LdapRequest) -> tuple[ChangeType, DN]:

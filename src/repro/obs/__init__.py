@@ -1,0 +1,83 @@
+"""repro.obs — observability for the MetaComm update pipeline.
+
+Three pillars (see docs/OBSERVABILITY.md for the catalog):
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of Counters, Gauges
+  and Histograms with label support, replacing the ad-hoc ``statistics``
+  dicts (which survive as live views, :mod:`repro.obs.views`);
+* :mod:`repro.obs.trace` — per-update trace spans carried with the
+  session from the LTAP trigger to the supplemental LDAP write, stored in
+  a bounded ring buffer;
+* :mod:`repro.obs.export` — Prometheus text-format and JSON renderers
+  (surfaced by ``python -m repro stats``).
+
+:class:`Observability` bundles one registry + one tracer; every
+:class:`~repro.core.MetaComm` instance owns its own bundle so co-hosted
+systems and tests never share samples.
+"""
+
+from __future__ import annotations
+
+from .export import render_json, render_prometheus
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from .trace import OBS_TRACE, Span, Trace, Tracer, trace_span
+from .views import StatsView
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS_TRACE",
+    "Observability",
+    "Span",
+    "StatsView",
+    "Trace",
+    "Tracer",
+    "global_registry",
+    "render_json",
+    "render_prometheus",
+    "trace_span",
+]
+
+
+class Observability:
+    """One system's metrics registry + trace store."""
+
+    def __init__(self, enabled: bool = True, trace_capacity: int = 256):
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(capacity=trace_capacity, enabled=enabled)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def disable(self) -> None:
+        self.registry.enabled = False
+        self.tracer.enabled = False
+
+    def enable(self) -> None:
+        self.registry.enabled = True
+        self.tracer.enabled = True
+
+    def prometheus(self, include_global: bool = True) -> str:
+        """Prometheus text format for this system (plus the process-wide
+        registry, which holds module-level metrics like the lexpress
+        instruction counter)."""
+        registries = [self.registry]
+        if include_global:
+            registries.append(global_registry())
+        return render_prometheus(*registries)
+
+    def json(self, include_traces: bool = True) -> str:
+        return render_json(
+            self.registry, self.tracer if include_traces else None
+        )

@@ -1,0 +1,206 @@
+"""Per-update trace spans for the MetaComm pipeline.
+
+Section 4.4's guarantee is end-to-end: an update enters at LTAP (or at a
+device), flows through the global queue, fans out to every device filter,
+and finishes with the supplemental LDAP write.  A :class:`Trace` follows
+one :class:`~repro.lexpress.descriptor.UpdateDescriptor` journey through
+those stages; each stage contributes a :class:`Span` with wall-clock
+timing and free-form attributes.
+
+The :class:`Tracer` keeps finished (and in-flight) traces in a bounded
+ring buffer, so a long-running system can always answer "what did the
+last N updates cost, stage by stage" without unbounded memory — the
+lag/convergence monitoring that replication systems rely on (see
+PAPERS.md: multimaster replication without quiescing, CRDT convergence).
+
+The trace handle travels *with the session*: the LTAP gateway stamps it
+into ``session.state[OBS_TRACE]`` when an update sequence starts, and the
+Update Manager (which receives the same session via the trigger event)
+picks it up from there — including across the hop onto the coordinator
+thread in threaded mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["OBS_TRACE", "Span", "Trace", "Tracer", "trace_span"]
+
+#: Session-state key under which the active trace travels with an update.
+OBS_TRACE = "obs.trace"
+
+_trace_ids = itertools.count(1)
+
+
+class Span:
+    """One timed stage of an update's journey."""
+
+    __slots__ = ("name", "started_at", "duration", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        started_at: float,
+        duration: float = 0.0,
+        attributes: dict | None = None,
+    ):
+        self.name = name
+        #: Wall-clock start (``time.time()`` epoch seconds).
+        self.started_at = started_at
+        #: Elapsed seconds (``time.perf_counter()`` difference).
+        self.duration = duration
+        self.attributes = attributes if attributes is not None else {}
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration * 1e6:.1f}us)"
+
+
+class Trace:
+    """All spans of one update descriptor's journey through the pipeline."""
+
+    def __init__(self, trace_id: str, name: str, attributes: dict | None = None):
+        self.trace_id = trace_id
+        self.name = name
+        self.attributes = attributes if attributes is not None else {}
+        self.started_at = time.time()
+        self._start = time.perf_counter()
+        self.duration: float | None = None  # None while in flight
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Context manager: time the enclosed block as one span."""
+        span = Span(name, time.time(), attributes=dict(attributes))
+        start = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.attributes.setdefault("error", str(exc))
+            raise
+        finally:
+            span.duration = time.perf_counter() - start
+            self._append(span)
+
+    def record(self, name: str, duration: float, **attributes) -> Span:
+        """Add a span whose timing was measured externally (e.g. the
+        enqueue→dequeue wait, whose endpoints live in different frames)."""
+        span = Span(
+            name,
+            time.time() - duration,
+            duration=duration,
+            attributes=dict(attributes),
+        )
+        self._append(span)
+        return span
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def finish(self) -> None:
+        if self.duration is None:
+            self.duration = time.perf_counter() - self._start
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    # -- queries -----------------------------------------------------------
+
+    def span_names(self) -> list[str]:
+        with self._lock:
+            return [span.name for span in self.spans]
+
+    def find(self, name: str) -> list[Span]:
+        with self._lock:
+            return [span for span in self.spans if span.name == name]
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            spans = [span.to_dict() for span in self.spans]
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "spans": spans,
+        }
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "open"
+        return (
+            f"Trace({self.trace_id!r}, {self.name!r}, "
+            f"{len(self.spans)} spans, {state})"
+        )
+
+
+class Tracer:
+    """Bounded ring-buffer store of traces."""
+
+    def __init__(self, capacity: int = 256, enabled: bool = True):
+        self.capacity = capacity
+        self.enabled = enabled
+        self._traces: deque[Trace] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def start(self, name: str, **attributes) -> Trace | None:
+        """Open a new trace (``None`` when tracing is disabled)."""
+        if not self.enabled:
+            return None
+        trace = Trace(f"trace-{next(_trace_ids)}", name, dict(attributes))
+        with self._lock:
+            self._traces.append(trace)
+        return trace
+
+    def traces(self, name: str | None = None) -> list[Trace]:
+        with self._lock:
+            traces = list(self._traces)
+        if name is not None:
+            traces = [t for t in traces if t.name == name]
+        return traces
+
+    def last(self, name: str | None = None) -> Trace | None:
+        matching = self.traces(name)
+        return matching[-1] if matching else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces())
+
+
+@contextmanager
+def trace_span(trace: Trace | None, name: str, **attributes):
+    """``trace.span(...)`` when a trace is active, else a cheap no-op.
+
+    Yields the :class:`Span` (or ``None``), so call sites can attach
+    outcome attributes without re-checking whether tracing is on.
+    """
+    if trace is None:
+        yield None
+        return
+    with trace.span(name, **attributes) as span:
+        yield span

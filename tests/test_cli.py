@@ -32,6 +32,18 @@ class TestCli:
         assert "mapping pbx_to_ldap" in out
         assert "MATCH_RE" in out  # the cn rule's compiled pattern match
 
+    def test_stats_emits_prometheus_text_and_traces(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        # Every line is valid Prometheus text: a comment or a sample.
+        for line in out.splitlines():
+            assert line.startswith("#") or line[0].isalpha()
+        assert "(update): ltap.trigger=" in out
+        assert "(ddu): ddu.translate=" in out
+        assert "metacomm_queue_depth 0" in out
+        assert 'metacomm_um_fanout_total{device="definity"} 2' in out
+        assert "lexpress_instructions_total" in out
+
     def test_experiments(self, capsys):
         assert main(["experiments"]) == 0
         assert "--benchmark-only" in capsys.readouterr().out

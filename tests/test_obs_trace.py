@@ -1,0 +1,129 @@
+"""Unit tests for the trace store (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs.trace import OBS_TRACE, Span, Trace, Tracer, trace_span
+
+
+class TestSpan:
+    def test_to_dict(self):
+        span = Span("queue.wait", 100.0, duration=0.25, attributes={"serial": 3})
+        assert span.to_dict() == {
+            "name": "queue.wait",
+            "started_at": 100.0,
+            "duration": 0.25,
+            "attributes": {"serial": 3},
+        }
+
+
+class TestTrace:
+    def test_span_context_manager_times_block(self):
+        tracer = Tracer()
+        trace = tracer.start("update", op="add")
+        with trace.span("stage.one", device="pbx") as span:
+            pass
+        assert span.duration > 0
+        assert span.attributes == {"device": "pbx"}
+        assert trace.span_names() == ["stage.one"]
+
+    def test_span_records_error_attribute(self):
+        trace = Tracer().start("update")
+        with pytest.raises(RuntimeError):
+            with trace.span("stage.bad"):
+                raise RuntimeError("device refused")
+        (span,) = trace.find("stage.bad")
+        assert span.attributes["error"] == "device refused"
+        assert span.duration > 0  # timed even on failure
+
+    def test_record_externally_measured_leg(self):
+        trace = Tracer().start("update")
+        span = trace.record("queue.wait", 0.125, serial=7)
+        assert span.duration == 0.125
+        assert span.attributes == {"serial": 7}
+
+    def test_finish_is_idempotent(self):
+        trace = Tracer().start("update")
+        assert not trace.finished
+        trace.finish()
+        first = trace.duration
+        trace.finish()
+        assert trace.duration == first
+        assert trace.finished
+
+    def test_find_and_span_names(self):
+        trace = Tracer().start("update")
+        trace.record("filter.apply", 0.1, device="a")
+        trace.record("filter.apply", 0.2, device="b")
+        trace.record("ldap.supplemental", 0.3)
+        assert trace.span_names() == [
+            "filter.apply",
+            "filter.apply",
+            "ldap.supplemental",
+        ]
+        assert [s.attributes["device"] for s in trace.find("filter.apply")] == [
+            "a",
+            "b",
+        ]
+
+    def test_to_dict(self):
+        trace = Tracer().start("ddu", device="definity")
+        trace.record("ddu.translate", 0.01)
+        trace.finish()
+        document = trace.to_dict()
+        assert document["name"] == "ddu"
+        assert document["attributes"] == {"device": "definity"}
+        assert document["duration"] is not None
+        assert [s["name"] for s in document["spans"]] == ["ddu.translate"]
+
+
+class TestTracer:
+    def test_ring_buffer_capacity(self):
+        tracer = Tracer(capacity=3)
+        opened = [tracer.start("update", n=i) for i in range(5)]
+        assert len(tracer) == 3
+        kept = tracer.traces()
+        assert kept == opened[2:]  # oldest two evicted
+
+    def test_traces_filter_by_name_and_last(self):
+        tracer = Tracer()
+        update = tracer.start("update")
+        ddu = tracer.start("ddu")
+        update2 = tracer.start("update")
+        assert tracer.traces("update") == [update, update2]
+        assert tracer.last("update") is update2
+        assert tracer.last("ddu") is ddu
+        assert tracer.last() is update2
+        assert tracer.last("missing") is None
+
+    def test_disabled_tracer_returns_none(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.start("update") is None
+        assert len(tracer) == 0
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.start("update")
+        tracer.clear()
+        assert tracer.traces() == []
+
+    def test_unique_ids(self):
+        tracer = Tracer()
+        a, b = tracer.start("update"), tracer.start("update")
+        assert a.trace_id != b.trace_id
+
+
+class TestTraceSpanHelper:
+    def test_null_trace_is_noop(self):
+        with trace_span(None, "stage.one") as span:
+            assert span is None
+
+    def test_active_trace_delegates(self):
+        trace = Tracer().start("update")
+        with trace_span(trace, "stage.one", k="v") as span:
+            assert span is not None
+        assert trace.span_names() == ["stage.one"]
+        assert trace.spans[0].attributes == {"k": "v"}
+
+    def test_session_state_key(self):
+        # The contract between LTAP and the UM: one well-known key.
+        assert OBS_TRACE == "obs.trace"

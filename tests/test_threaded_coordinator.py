@@ -69,6 +69,39 @@ class TestThreadedMode:
                 person_attrs("X", "X", definityExtension="4300"),
             )
 
+    def test_coordinator_failure_keeps_exception_type(self, system):
+        # The original exception object crosses the thread boundary, not a
+        # wrapped copy — callers can catch the specific type.
+        marker = ValueError("bad extension digits")
+
+        def explode(item, session):
+            raise marker
+
+        system.um._process = explode
+        with pytest.raises(ValueError) as excinfo:
+            system.connection().add(
+                "cn=Y,o=Marketing,o=Lucent",
+                person_attrs("Y", "Y", definityExtension="4301"),
+            )
+        assert excinfo.value is marker
+
+    def test_coordinator_timeout_surfaces_to_caller(self, system):
+        import time
+
+        # A wedged sequence must not hang the blocked trigger forever:
+        # after coordinator_timeout the client gets a RuntimeError.
+        system.um.coordinator_timeout = 0.05
+
+        def wedged(item, session):
+            time.sleep(0.5)
+
+        system.um._process = wedged
+        with pytest.raises(RuntimeError, match="did not complete"):
+            system.connection().add(
+                "cn=Z,o=Marketing,o=Lucent",
+                person_attrs("Z", "Z", definityExtension="4302"),
+            )
+
     def test_concurrent_clients(self, system):
         errors = []
 
