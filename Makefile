@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench stats
+.PHONY: test bench-smoke bench bench-pipeline lint stats
 
 ## Tier-1: the full unit/integration suite (tests/ only).
 test:
@@ -11,6 +11,16 @@ test:
 ## instrumentation overhead of the observability layer.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -m benchmarks -s -p no:cacheprovider
+
+## Serial vs concurrent device fan-out throughput; writes BENCH_pipeline.json.
+bench-pipeline:
+	$(PYTHON) -m pytest benchmarks/test_pipeline_throughput.py -m benchmarks -s -p no:cacheprovider
+
+## Static checks (ruff config in pyproject.toml); skips when ruff is absent.
+lint:
+	@$(PYTHON) -m ruff --version >/dev/null 2>&1 \
+		&& $(PYTHON) -m ruff check src tests benchmarks \
+		|| echo "ruff not installed; skipping lint"
 
 ## The full experiment harness (slow).
 bench:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MetaComm, MetaCommConfig, PbxConfig
+from repro.core import MetaComm, MetaCommConfig
 from repro.schemas import PERSON_CLASSES
 
 

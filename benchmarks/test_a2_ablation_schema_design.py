@@ -17,13 +17,11 @@ This ablation demonstrates all three corners:
   be viable as well").
 """
 
-import pytest
 from conftest import report
 
 from repro.ldap import (
     DN,
-    Entry,
-    LdapConnection,
+        LdapConnection,
     LdapServer,
     Modification,
 )

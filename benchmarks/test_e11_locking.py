@@ -11,7 +11,7 @@ import threading
 
 from conftest import fresh_system, person_attrs, report
 
-from repro.ldap import DN, BusyError, LdapError, Modification
+from repro.ldap import DN, LdapError, Modification
 from repro.ltap import LockManager
 
 

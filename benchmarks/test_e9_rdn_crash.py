@@ -88,7 +88,7 @@ def test_e9_ltap_locking_prevents_interleaving(benchmark):
     """Section 5.1: "locking at the LTAP level prevents the interleaving
     of operations at the LDAP level" — while a rename pair is in flight,
     another writer to the same entry is blocked (busy), not interleaved."""
-    from repro.ldap import BusyError, LdapError, Modification, ResultCode
+    from repro.ldap import LdapError, Modification, ResultCode
 
     system = fresh_system(lock_timeout=0.05)
     system.terminal().execute('add station 4200 name "Smith, Pat" room 1A')

@@ -12,6 +12,16 @@ from .filters import (
 )
 from .mediator import MediatorError, VirtualMediator
 from .metacomm import MetaComm, MetaCommConfig, PbxConfig
+from .pipeline import (
+    DeviceOutcome,
+    DevicePlan,
+    FailurePolicy,
+    SequenceOutcome,
+    StageResult,
+    UpdatePlan,
+    UpdateSequencePipeline,
+    merge_attrs,
+)
 from .queue import GlobalUpdateQueue, QueuedUpdate
 from .sync import SyncReport, Synchronizer
 from .update_manager import DeviceBinding, UpdateManager
@@ -21,7 +31,10 @@ __all__ = [
     "ApplyResult",
     "DeviceBinding",
     "DeviceFilter",
+    "DeviceOutcome",
+    "DevicePlan",
     "ErrorLog",
+    "FailurePolicy",
     "Filter",
     "FilterError",
     "GlobalUpdateQueue",
@@ -31,10 +44,15 @@ __all__ = [
     "MetaCommConfig",
     "PbxConfig",
     "QueuedUpdate",
+    "SequenceOutcome",
+    "StageResult",
     "SyncReport",
     "Synchronizer",
     "UM_AGENT",
     "UmCrash",
+    "UpdatePlan",
     "UpdateManager",
+    "UpdateSequencePipeline",
     "VirtualMediator",
+    "merge_attrs",
 ]

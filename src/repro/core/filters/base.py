@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
 from ...lexpress.descriptor import TargetAction, TargetUpdate, UpdateDescriptor
 from ...obs.metrics import MetricsRegistry
@@ -116,6 +116,27 @@ class Filter(abc.ABC):
     @abc.abstractmethod
     def apply(self, update: TargetUpdate) -> ApplyResult:
         """Apply a translated update to the repository."""
+
+    def before_image(self, update: TargetUpdate) -> dict[str, list[str]] | None:
+        """The record an update is about to touch, as it stands now.
+
+        Captured during the planning stage, before any device write of
+        the sequence, so saga compensation and parallel-mode rollback can
+        restore it verbatim.  None for keyless updates or absent records."""
+        key = update.old_key or update.key
+        return self.fetch(key) if key is not None else None
+
+    def compensate(
+        self,
+        update: TargetUpdate,
+        before: Mapping[str, list[str]] | None,
+    ) -> None:
+        """Undo a previously applied update using its pre-update image.
+
+        Part of the unified repository API so the pipeline's failure
+        policies (saga compensation, parallel rollback) can target any
+        filter; repositories that cannot undo raise."""
+        raise NotImplementedError(f"{self.name} cannot compensate updates")
 
     # -- bookkeeping helpers ------------------------------------------------------
 

@@ -187,6 +187,16 @@ class LdapFilter(Filter):
                 entry = conn.get(dn)
             except LdapError:
                 return False
+            # LDAP attribute names are caseless; fold the supplement onto
+            # one canonical key per attribute (last writer wins) so a
+            # caller passing e.g. both ``telephonenumber`` and
+            # ``telephoneNumber`` cannot emit duplicate modifications.
+            canonical: dict[str, str] = {}
+            folded: dict[str, list[str]] = {}
+            for name, values in attributes.items():
+                key = canonical.setdefault(name.lower(), name)
+                folded[key] = list(values)
+            attributes = folded
             # Values that are part of the entry's RDN must never be
             # stripped by a replace (the server would reject it, aborting
             # the whole supplement batch).

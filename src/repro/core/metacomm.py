@@ -71,6 +71,12 @@ class MetaCommConfig:
     observability: bool = True
     #: How many recent update traces the ring buffer retains.
     trace_capacity: int = 256
+    #: Worker threads for the update pipeline's device fan-out stage.
+    #: 1 (default) preserves the paper's serial device order; >1 applies
+    #: the planned per-device updates concurrently (the repositories are
+    #: disjoint, so per-device histories are unchanged — see
+    #: docs/PIPELINE.md for the serialization argument).
+    fanout_workers: int = 1
 
 
 class MetaComm:
@@ -156,6 +162,7 @@ class MetaComm:
             undo_on_failure=self.config.undo_on_failure,
             registry=self.obs.registry,
             tracer=self.obs.tracer,
+            fanout_workers=self.config.fanout_workers,
         )
         self.sync = Synchronizer(self.um)
         self.suffix = suffix
@@ -193,6 +200,18 @@ class MetaComm:
                         },
                     )
                 )
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release background resources (coordinator thread, fan-out pool)."""
+        self.um.close()
+
+    def __enter__(self) -> "MetaComm":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- handles -----------------------------------------------------------------------
 

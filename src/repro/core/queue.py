@@ -77,6 +77,24 @@ class GlobalUpdateQueue:
             self._depth.set(len(self._items))
         return item
 
+    def claim(self, descriptor: UpdateDescriptor) -> QueuedUpdate:
+        """Atomically enqueue-and-dequeue one descriptor for its caller.
+
+        The threaded coordinator hand-off needs the serialization order
+        *and* a guarantee that the caller processes its own descriptor —
+        a separate ``enqueue()``/``dequeue()`` pair lets two interleaved
+        sessions swap items, pairing a job with the wrong entry lock.
+        ``claim`` assigns the serial and accounts the item as enqueued and
+        processed in one critical section; the item is never visible to
+        any other dequeuer."""
+        now = time.perf_counter()
+        with self._lock:
+            item = QueuedUpdate(next(self._serials), descriptor, now)
+            self._enqueued.inc()
+            self._processed.inc()
+        self._wait.observe(time.perf_counter() - now)
+        return item
+
     def dequeue(self) -> QueuedUpdate | None:
         with self._lock:
             if not self._items:

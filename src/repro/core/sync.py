@@ -211,15 +211,15 @@ class Synchronizer:
             descriptor = UpdateDescriptor(
                 UpdateOp.ADD, "ldap", str(entry.dn), new=attrs
             )
-            update = binding.from_ldap.translate(
-                descriptor, extra_partition=binding.partition,
-                target_name=binding.name,
-            )
-            if update is None or update.action is TargetAction.SKIP or update.key is None:
+            # Reuse the pipeline's planning stage: translate + partition
+            # routing + before-image capture in one place.
+            plan = self.um.pipeline.plan_device_update(binding, descriptor)
+            if plan is None or plan.update.key is None:
                 report.skipped += 1
                 continue
+            update = plan.update
             directory_keys.add(update.key)
-            existing = binding.filter.fetch(update.key)
+            existing = plan.before
             try:
                 if existing is None:
                     binding.filter.apply(update)

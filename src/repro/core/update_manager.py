@@ -11,11 +11,10 @@ The flow implemented here is the paper's:
 * **LDAP-originated updates** (WBA, browsers): LTAP traps the request,
   holds the entry lock, and fires the UM's AFTER trigger.  The trigger
   builds a lexpress descriptor, appends it to the global queue, and the
-  coordinator drains the queue — computing the transitive closure of the
-  change, fanning translated updates out to every device filter, folding
-  device-generated information back, and finally applying supplemental
-  attributes to the LDAP server ("update the LDAP Server after all other
-  devices are updated", section 5.5) — all while the lock is held.
+  coordinator drains the queue — running the staged update-sequence
+  pipeline of :mod:`repro.core.pipeline` (closure enrichment, per-device
+  planning, fan-out, fold-back merge, supplemental LDAP write) — all
+  while the lock is held.
 
 * **Direct device updates (DDUs)**: the device filter hears the commit
   notification, builds a descriptor, and the UM forwards it through the
@@ -26,27 +25,21 @@ The flow implemented here is the paper's:
 
 * **Failures**: a device that rejects an update aborts the remaining
   sequence; the error is logged into the directory and the administrator
-  notified (section 4.4).
+  notified (section 4.4).  Abort and saga compensation are pipeline
+  failure policies, identical in serial and parallel fan-out modes.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Iterable
 
-from ..ldap.backend import ChangeType
-from ..ldap.dn import DN
 from ..ldap.protocol import Session
 from ..ldap.server import LdapServer
 from ..lexpress.closure import ClosureEngine
-from ..lexpress.descriptor import (
-    TargetAction,
-    TargetUpdate,
-    UpdateDescriptor,
-    UpdateOp,
-)
+from ..lexpress.descriptor import TargetUpdate, UpdateDescriptor
 from ..lexpress.mapping import CompiledMapping
 from ..lexpress.partition import PartitionConstraint
 from ..ltap.connection import ConnectionManager
@@ -59,6 +52,7 @@ from .errorlog import ErrorLog
 from .filters.base import Filter, FilterError
 from .filters.device_filter import DeviceFilter
 from .filters.ldap_filter import LdapFilter
+from .pipeline import FailurePolicy, UpdateSequencePipeline, _descriptor_from_event
 from .queue import GlobalUpdateQueue, QueuedUpdate
 
 
@@ -77,7 +71,7 @@ class DeviceBinding:
 
 
 class UpdateManager:
-    """Coordinator + global queue + filter fan-out."""
+    """Coordinator + global queue + staged pipeline fan-out."""
 
     def __init__(
         self,
@@ -90,16 +84,13 @@ class UpdateManager:
         undo_on_failure: bool = False,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        fanout_workers: int = 1,
     ):
         self.server = server
         self.gateway = gateway
         self.ldap_filter = ldap_filter
-        self.bindings = list(bindings)
+        bindings = list(bindings)
         self.error_log = error_log
-        self.abort_on_failure = abort_on_failure
-        #: Section 4.4 future work: compensate already-applied device
-        #: updates when a later one fails — the saga technique.
-        self.undo_on_failure = undo_on_failure
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
         self.queue = GlobalUpdateQueue(registry=self.registry)
@@ -118,31 +109,10 @@ class UpdateManager:
             "Direct device updates received from device filters",
             labelnames=("device",),
         )
-        self._fanout = self.registry.counter(
-            "metacomm_um_fanout_total",
-            "Translated updates applied to device repositories",
-            labelnames=("device",),
-        )
-        self._reapplied = self.registry.counter(
-            "metacomm_um_reapplied_total",
-            "Conditional reapplications to an update's originating device "
-            "(the section-5.4 write-write consistency technique)",
-            labelnames=("device",),
-        )
-        self._aborted = self.registry.counter(
-            "metacomm_um_aborted_sequences_total",
-            "Update sequences aborted by a repository rejection",
-            labelnames=("target",),
-        )
         self._compensated = self.registry.counter(
             "metacomm_um_compensated_total",
             "Saga-style compensations of already-applied device updates",
             labelnames=("device",),
-        )
-        self._supplemental = self.registry.counter(
-            "metacomm_um_supplemental_writes_total",
-            "Supplemental LDAP writes (closure-derived and "
-            "device-generated attributes folded back, section 5.5)",
         )
         self._connection_events = self.registry.counter(
             "metacomm_um_connection_events_total",
@@ -154,23 +124,48 @@ class UpdateManager:
             "Duration of one full update sequence (closure, fan-out, "
             "supplemental write)",
         )
+
+        mappings: dict[str, CompiledMapping] = {}
+        for binding in bindings:
+            mappings.setdefault(binding.to_ldap.name, binding.to_ldap)
+            mappings.setdefault(binding.from_ldap.name, binding.from_ldap)
+
+        #: The staged update-sequence pipeline: enrich → plan → fanout →
+        #: merge → supplemental, with abort/saga as explicit policies.
+        #: ``bindings`` and ``closure`` live here; the UM's attributes of
+        #: the same names are views onto the pipeline's.
+        self.pipeline = UpdateSequencePipeline(
+            bindings=bindings,
+            closure=ClosureEngine(mappings.values()),
+            ldap_filter=ldap_filter,
+            error_log=error_log,
+            policy=FailurePolicy(
+                abort_on_failure=abort_on_failure,
+                undo_on_failure=undo_on_failure,
+            ),
+            registry=self.registry,
+            fanout_workers=fanout_workers,
+            # Late-bound so a monkeypatched ``um._compensate`` is honored.
+            compensate=lambda applied, trace=None: self._compensate(
+                applied, trace
+            ),
+        )
+
         self.statistics = StatsView(
             {
                 "ldap_events": lambda: self._ldap_events.value,
                 "ddus": lambda: self._ddus.total(),
-                "fanned_out": lambda: self._fanout.total(),
-                "reapplied": lambda: self._reapplied.total(),
-                "supplemental_writes": lambda: self._supplemental.value,
-                "aborted_sequences": lambda: self._aborted.total(),
+                "fanned_out": lambda: self.pipeline.fanout_total.total(),
+                "reapplied": lambda: self.pipeline.reapplied_total.total(),
+                "supplemental_writes": (
+                    lambda: self.pipeline.supplemental_total.value
+                ),
+                "aborted_sequences": (
+                    lambda: self.pipeline.aborted_total.total()
+                ),
                 "compensated": lambda: self._compensated.total(),
             }
         )
-
-        mappings: dict[str, CompiledMapping] = {}
-        for binding in self.bindings:
-            mappings.setdefault(binding.to_ldap.name, binding.to_ldap)
-            mappings.setdefault(binding.from_ldap.name, binding.from_ldap)
-        self.closure = ClosureEngine(mappings.values())
 
         gateway.register_trigger(
             Trigger(
@@ -182,6 +177,66 @@ class UpdateManager:
         )
         for binding in self.bindings:
             binding.filter.on_ddu(self._on_ddu)
+
+    # -- pipeline views ------------------------------------------------------------
+
+    @property
+    def bindings(self) -> list[DeviceBinding]:
+        """The device bindings, shared with the pipeline — appending a
+        binding at run time (section 4.2's dynamic integration) affects
+        both."""
+        return self.pipeline.bindings
+
+    @bindings.setter
+    def bindings(self, bindings: Iterable[DeviceBinding]) -> None:
+        self.pipeline.bindings = list(bindings)
+
+    @property
+    def closure(self) -> ClosureEngine:
+        return self.pipeline.closure
+
+    @closure.setter
+    def closure(self, closure: ClosureEngine) -> None:
+        self.pipeline.closure = closure
+
+    # -- failure policy / fan-out knobs (delegated to the pipeline) ---------------
+
+    @property
+    def abort_on_failure(self) -> bool:
+        return self.pipeline.policy.abort_on_failure
+
+    @abort_on_failure.setter
+    def abort_on_failure(self, value: bool) -> None:
+        self.pipeline.policy = FailurePolicy(
+            abort_on_failure=value,
+            undo_on_failure=self.pipeline.policy.undo_on_failure,
+        )
+
+    @property
+    def undo_on_failure(self) -> bool:
+        """Section 4.4 future work: compensate already-applied device
+        updates when a later one fails — the saga technique."""
+        return self.pipeline.policy.undo_on_failure
+
+    @undo_on_failure.setter
+    def undo_on_failure(self, value: bool) -> None:
+        self.pipeline.policy = FailurePolicy(
+            abort_on_failure=self.pipeline.policy.abort_on_failure,
+            undo_on_failure=value,
+        )
+
+    @property
+    def fanout_workers(self) -> int:
+        return self.pipeline.fanout_workers
+
+    @fanout_workers.setter
+    def fanout_workers(self, workers: int) -> None:
+        self.pipeline.fanout_workers = workers
+
+    def close(self) -> None:
+        """Stop the coordinator thread and the fan-out worker pool."""
+        self.stop()
+        self.pipeline.close()
 
     # -- connection sink (persistent connections deliver sync batches) -----------
 
@@ -202,7 +257,7 @@ class UpdateManager:
 
         Section 4.4: "The main thread of the UM, the coordinator, iterates
         through the global update queue."  In threaded mode, LTAP's trigger
-        enqueues the descriptor and *blocks until the coordinator signals
+        claims the descriptor and *blocks until the coordinator signals
         completion* — so the entry lock is still held for the whole update
         sequence, exactly as in the synchronous mode.  Entry locks are
         owned by sessions (not threads), so the coordinator can re-enter
@@ -248,62 +303,32 @@ class UpdateManager:
 
     def _on_ldap_event(self, event: TriggerEvent) -> None:
         self._ldap_events.inc()
-        descriptor = self._descriptor_from_event(event)
+        trace = event.session.state.get(OBS_TRACE)
+        descriptor = self.pipeline.intake_event(event, trace)
         if descriptor is None:
             return
-        item = self.queue.enqueue(descriptor)
         if self._thread is not None:
+            # Atomic claim: the descriptor gets its serial and goes
+            # straight to the coordinator *paired with its own session*.
+            # The old enqueue-then-dequeue dance could hand this trigger a
+            # different session's item when two clients interleaved,
+            # pointing the supplemental write at the wrong entry lock.
+            item = self.queue.claim(descriptor)
             done = threading.Event()
             failure: list[Exception] = []
-            dequeued = self.queue.dequeue()
-            # FIFO discipline is preserved: enqueue/dequeue happen inside
-            # the entry lock, and the coordinator consumes jobs in order.
-            self._work.put((dequeued or item, event.session, done, failure))
+            self._work.put((item, event.session, done, failure))
             if not done.wait(timeout=self.coordinator_timeout):
                 raise RuntimeError("coordinator did not complete the sequence")
             if failure:
                 raise failure[0]
             return
+        self.queue.enqueue(descriptor)
         self._drain(event.session)
 
-    def _descriptor_from_event(self, event: TriggerEvent) -> UpdateDescriptor | None:
-        origin = str(event.session.state.get("metacomm.origin", "ldap"))
-        before = event.before.attributes.to_dict() if event.before else None
-        after = event.after.attributes.to_dict() if event.after else None
-        if event.change_type is ChangeType.ADD:
-            op = UpdateOp.ADD
-        elif event.change_type is ChangeType.DELETE:
-            op = UpdateOp.DELETE
-        else:
-            op = UpdateOp.MODIFY
-            if before is None or after is None:
-                return None
-        key = str(event.after.dn if event.after is not None else event.dn)
-        explicit: set[str] = set()
-        if before is not None and after is not None:
-            names = {n.lower() for n in before} | {n.lower() for n in after}
-            for name in names:
-                if _get(before, name) != _get(after, name):
-                    explicit.add(name)
-        elif after is not None:
-            explicit = {n.lower() for n in after}
-        # Stamp the update's source so the Originator machinery (section
-        # 5.4) sees who really made this change, not a stale value.
-        if after is not None:
-            after = dict(after)
-            for name in list(after):
-                if name.lower() == "lastupdater":
-                    del after[name]
-            after["lastUpdater"] = [origin]
-        return UpdateDescriptor(
-            op=op,
-            source="ldap",
-            key=key,
-            old=before,
-            new=after,
-            explicit=frozenset(explicit),
-            origin=origin,
-        )
+    def _descriptor_from_event(
+        self, event: TriggerEvent
+    ) -> UpdateDescriptor | None:
+        return _descriptor_from_event(event)
 
     # -- DDU intake -------------------------------------------------------------------
 
@@ -317,9 +342,8 @@ class UpdateManager:
             else None
         )
         try:
-            with trace_span(trace, "ddu.translate", device=binding.name):
-                update = binding.to_ldap.translate(descriptor)
-            if update is None or update.action is TargetAction.SKIP:
+            update = self.pipeline.intake_ddu(binding, descriptor, trace)
+            if update is None:
                 return
             session = Session()
             if trace is not None:
@@ -330,7 +354,7 @@ class UpdateManager:
                         update, origin=binding.name, session=session
                     )
             except FilterError as exc:
-                self._aborted.labels(target="ldap").inc()
+                self.pipeline.aborted_total.labels(target="ldap").inc()
                 self.error_log.record(
                     target="ldap",
                     message=str(exc),
@@ -370,94 +394,11 @@ class UpdateManager:
                 "queue.wait", start - item.enqueued_at, serial=item.serial
             )
         try:
-            self._run_sequence(item, session, trace)
+            self.pipeline.run(
+                item.descriptor, session, trace, serial=item.serial
+            )
         finally:
             self._sequence_seconds.observe(time.perf_counter() - start)
-
-    def _run_sequence(
-        self, item: QueuedUpdate, session: Session, trace
-    ) -> None:
-        descriptor = item.descriptor
-        if descriptor.op is UpdateOp.DELETE:
-            enriched = descriptor
-        else:
-            with trace_span(trace, "closure.enrich"):
-                enriched = self._enrich(descriptor)
-
-        supplemental: dict[str, list[str]] = self._closure_supplement(
-            descriptor, enriched
-        )
-        aborted = False
-        applied: list[tuple[DeviceBinding, TargetUpdate, dict | None]] = []
-        for binding in self.bindings:
-            update = binding.from_ldap.translate(
-                enriched,
-                extra_partition=binding.partition,
-                target_name=binding.name,
-            )
-            if update is None or update.action is TargetAction.SKIP:
-                continue
-            before = (
-                binding.filter.fetch(update.old_key or update.key)
-                if (update.old_key or update.key) is not None
-                else None
-            )
-            with trace_span(
-                trace,
-                "filter.apply",
-                device=binding.name,
-                conditional=update.conditional,
-            ) as span:
-                try:
-                    result = binding.filter.apply(update)
-                except FilterError as exc:
-                    if span is not None:
-                        span.attributes["error"] = exc.message
-                    self._aborted.labels(target=binding.name).inc()
-                    self.error_log.record(
-                        target=binding.name,
-                        message=exc.message,
-                        context=f"update serial={item.serial} key={update.key}",
-                    )
-                    if self.undo_on_failure:
-                        self._compensate(applied, trace)
-                    if self.abort_on_failure:
-                        aborted = True
-                        break
-                    continue
-            applied.append((binding, update, before))
-            self._fanout.labels(device=binding.name).inc()
-            if update.conditional:
-                self._reapplied.labels(device=binding.name).inc()
-            if update.key is not None and (
-                update.action is TargetAction.ADD or result.recovered
-            ):
-                # A record was (re)created at the device: echo its full
-                # view — defaults, truncations, generated ids — back to
-                # the directory so both sides agree (section 5.5).
-                supplemental.update(self._echo_supplement(binding, update.key))
-            elif result.generated and update.key is not None:
-                supplemental.update(
-                    self._generated_supplement(
-                        binding, update.key, result.generated
-                    )
-                )
-        if aborted:
-            return
-        # "update the LDAP Server after all other devices are updated".
-        if supplemental and descriptor.op is not UpdateOp.DELETE:
-            dn = DN.parse(descriptor.key) if descriptor.key else None
-            if dn is not None:
-                # NB: the result deliberately does not reuse the name
-                # `applied` — that is the saga compensation list above.
-                with trace_span(trace, "ldap.supplemental") as span:
-                    wrote = self.ldap_filter.apply_supplemental(
-                        dn, supplemental, session
-                    )
-                    if span is not None:
-                        span.attributes["wrote"] = wrote
-                if wrote:
-                    self._supplemental.inc()
 
     def _compensate(
         self,
@@ -477,77 +418,6 @@ class UpdateManager:
                     context=f"undo of {update.action.value} key={update.key}",
                 )
 
-    def _enrich(self, descriptor: UpdateDescriptor) -> UpdateDescriptor:
-        """Run the transitive closure; return a descriptor whose new image
-        includes all derived LDAP attributes."""
-        result = self.closure.propagate(
-            "ldap",
-            descriptor.new or {},
-            changed=descriptor.changed_attributes(),
-            explicit=descriptor.explicit,
-        )
-        merged = dict(descriptor.new or {})
-        have = {n.lower() for n in merged}
-        for name, values in result.image("ldap").items():
-            if name.lower() not in have:
-                merged[name] = values
-        return replace(descriptor, new=merged)
-
-    def _closure_supplement(
-        self, original: UpdateDescriptor, enriched: UpdateDescriptor
-    ) -> dict[str, list[str]]:
-        """The desired final LDAP image after closure.
-
-        The whole enriched image is handed to
-        :meth:`LdapFilter.apply_supplemental`, which diffs it against the
-        live entry and writes only what actually changed — that keeps the
-        supplemental pass idempotent and covers both closure-derived
-        attributes and the ``lastUpdater`` stamp."""
-        return dict(enriched.new or {})
-
-    def _echo_supplement(
-        self, binding: DeviceBinding, key: str
-    ) -> dict[str, list[str]]:
-        """The device's committed view of a freshly created record, mapped
-        back into LDAP attributes (excluding the Originator stamp, which
-        must reflect who really made the update)."""
-        record = binding.filter.fetch(key)
-        if record is None:
-            return {}
-        image = binding.to_ldap.image(record) or {}
-        return {
-            name: values
-            for name, values in image.items()
-            if name.lower() != "lastupdater"
-        }
-
-    def _generated_supplement(
-        self,
-        binding: DeviceBinding,
-        key: str,
-        generated: dict[str, list[str]],
-    ) -> dict[str, list[str]]:
-        """Fold device-generated information back toward LDAP (section 5.5).
-
-        Only attributes that *derive from* the generated fields are folded
-        back: the full committed record is mapped once with and once
-        without those fields, and the difference is the supplement."""
-        record = binding.filter.fetch(key)
-        if record is None:
-            return {}
-        without = {
-            name: values
-            for name, values in record.items()
-            if name.lower() not in {g.lower() for g in generated}
-        }
-        image_full = binding.to_ldap.image(record) or {}
-        image_without = binding.to_ldap.image(without) or {}
-        out: dict[str, list[str]] = {}
-        for name, values in image_full.items():
-            if image_without.get(name) != values:
-                out[name] = values
-        return out
-
     # -- public status -------------------------------------------------------------------
 
     def binding(self, name: str) -> DeviceBinding:
@@ -555,12 +425,3 @@ class UpdateManager:
             if binding.name == name:
                 return binding
         raise KeyError(f"no device binding named {name!r}")
-
-
-def _get(attrs: dict[str, list[str]] | None, name: str) -> list[str]:
-    if not attrs:
-        return []
-    for key, values in attrs.items():
-        if key.lower() == name:
-            return list(values)
-    return []

@@ -16,6 +16,7 @@ devices must be usable with or without MetaComm") — direct device updates
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -95,6 +96,11 @@ class Device:
         self._lock = threading.RLock()
         self._listeners: list[NotificationListener] = []
         self.available = True
+        #: Simulated management-link round-trip (seconds) paid by every
+        #: write operation, before the record lock is taken — real gear is
+        #: reached over a serial craft interface or network hop, and the
+        #: fan-out benchmarks use this to model that latency.
+        self.link_latency: float = 0.0
         #: Optional fault hook: called as (op, key) before each update and
         #: may raise to simulate device errors.
         self.fault_injector: Callable[[str, str], None] | None = None
@@ -146,6 +152,10 @@ class Device:
         if self.fault_injector is not None:
             self.fault_injector(op, key)
 
+    def _link(self) -> None:
+        if self.link_latency > 0:
+            time.sleep(self.link_latency)
+
     # -- hooks for subclasses ------------------------------------------------------
 
     def _generate_fields(self, record: dict[str, str]) -> None:
@@ -159,6 +169,7 @@ class Device:
     def add(self, record: Mapping[str, str], agent: str = "local") -> dict[str, str]:
         """Add a record; returns the committed record (with generated fields)."""
         self._check_available()
+        self._link()
         committed = self._coerce(record, adding=True)
         for name in committed:
             if self.fields[name.lower()].generated:
@@ -196,6 +207,7 @@ class Device:
         """Modify fields of one record; a None value removes the field.
         The whole change commits atomically or not at all."""
         self._check_available()
+        self._link()
         key = str(key)
         with self._lock:
             self._fault("modify", key)
@@ -241,6 +253,7 @@ class Device:
 
     def delete(self, key: str, agent: str = "local") -> dict[str, str]:
         self._check_available()
+        self._link()
         key = str(key)
         with self._lock:
             self._fault("delete", key)

@@ -189,9 +189,28 @@ class _GaugeChild:
     def dec(self, amount: float = 1.0) -> None:
         self.inc(-amount)
 
+    def track(self) -> "_GaugeTracker":
+        return _GaugeTracker(self)
+
     @property
     def value(self) -> float:
         return self._value
+
+
+class _GaugeTracker:
+    """Context manager: +1 on entry, -1 on exit (in-flight tracking)."""
+
+    __slots__ = ("_child",)
+
+    def __init__(self, child: _GaugeChild):
+        self._child = child
+
+    def __enter__(self) -> "_GaugeTracker":
+        self._child.inc()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._child.dec()
 
 
 class Gauge(Metric):
@@ -210,6 +229,10 @@ class Gauge(Metric):
 
     def dec(self, amount: float = 1.0) -> None:
         self._child().dec(amount)
+
+    def track(self) -> _GaugeTracker:
+        """Track a block's concurrency: the gauge counts blocks in flight."""
+        return self._child().track()
 
     @property
     def value(self) -> float:

@@ -3,16 +3,15 @@ isolation (paper section 4.1)."""
 
 import pytest
 
-from repro.core.filters.base import ApplyResult, FilterError
+from repro.core.filters.base import FilterError
 from repro.core.filters.device_filter import UM_AGENT, DeviceFilter
 from repro.core.filters.ldap_filter import LdapFilter
 from repro.devices import DefinityPbx
-from repro.ldap import DN, Entry, LdapConnection, LdapServer
+from repro.ldap import LdapConnection, LdapServer
 from repro.lexpress import (
     TargetAction,
     TargetUpdate,
-    UpdateDescriptor,
-    UpdateOp,
+        UpdateOp,
     compile_mapping,
 )
 from repro.ltap import LtapGateway

@@ -7,7 +7,7 @@ full Figure-1 stack: LTAP gateway → Update Manager → filters → devices.
 import pytest
 
 from repro.core import MetaComm, MetaCommConfig, PbxConfig
-from repro.ldap import LdapError, Modification, ResultCode, Scope
+from repro.ldap import Modification
 from repro.schemas import PERSON_CLASSES
 
 
@@ -419,3 +419,104 @@ class TestIdentityResolution:
         extensions = {p.first("definityExtension") for p in people}
         assert extensions == {"4100", "4200"}
         assert system.consistent()
+
+
+class TestFanoutModes:
+    """The staged pipeline must behave identically whether the fan-out
+    stage runs devices serially or on a worker pool — every scenario here
+    is checked against the consistent() oracle in both modes."""
+
+    @pytest.fixture(params=[1, 4], ids=["serial", "parallel"])
+    def fleet(self, request):
+        fleet = MetaComm(
+            MetaCommConfig(
+                pbxes=[
+                    PbxConfig("pbx-1", ("4",)),
+                    PbxConfig("pbx-2", ("4",)),
+                    PbxConfig("pbx-3", ("4",)),
+                ],
+                fanout_workers=request.param,
+            )
+        )
+        yield fleet
+        fleet.close()
+
+    def test_add_reaches_every_repository(self, fleet):
+        fleet.connection().add(
+            "cn=A B,o=Lucent", person_attrs("A B", "B", definityExtension="4100")
+        )
+        for name in ("pbx-1", "pbx-2", "pbx-3"):
+            assert fleet.pbxes[name].contains("4100")
+        assert fleet.messaging.size() == 1
+        assert fleet.consistent()
+
+    def test_modify_and_delete(self, fleet):
+        conn = fleet.connection()
+        conn.add(
+            "cn=A B,o=Lucent", person_attrs("A B", "B", definityExtension="4100")
+        )
+        conn.modify(
+            "cn=A B,o=Lucent", [Modification.replace("definityCos", "2")]
+        )
+        for name in ("pbx-1", "pbx-2", "pbx-3"):
+            assert fleet.pbxes[name].get("4100")["COS"] == "2"
+        assert fleet.consistent()
+        conn.delete("cn=A B,o=Lucent")
+        for name in ("pbx-1", "pbx-2", "pbx-3"):
+            assert not fleet.pbxes[name].contains("4100")
+        assert fleet.messaging.size() == 0
+        assert fleet.consistent()
+
+    def test_ddu_propagates_to_peers(self, fleet):
+        fleet.terminal("pbx-2").execute('add station 4100 name "B, A"')
+        for name in ("pbx-1", "pbx-2", "pbx-3"):
+            assert fleet.pbxes[name].contains("4100")
+        assert fleet.consistent()
+
+    def test_abort_leaves_no_partial_state(self, fleet):
+        def explode(op, key):
+            from repro.devices import InvalidFieldError
+
+            raise InvalidFieldError("injected fault")
+
+        fleet.pbxes["pbx-2"].fault_injector = explode
+        fleet.connection().add(
+            "cn=A B,o=Lucent", person_attrs("A B", "B", definityExtension="4100")
+        )
+        # Serial mode never reached pbx-3/messaging; parallel mode rolled
+        # them back — either way nothing past the failure survives.
+        assert not fleet.pbxes["pbx-3"].contains("4100")
+        assert fleet.messaging.size() == 0
+        assert len(fleet.error_log) == 1
+
+    def test_best_effort_continues_past_failure(self):
+        for workers in (1, 4):
+            fleet = MetaComm(
+                MetaCommConfig(
+                    pbxes=[
+                        PbxConfig("pbx-1", ("4",)),
+                        PbxConfig("pbx-2", ("4",)),
+                        PbxConfig("pbx-3", ("4",)),
+                    ],
+                    abort_on_failure=False,
+                    fanout_workers=workers,
+                )
+            )
+            try:
+
+                def explode(op, key):
+                    from repro.devices import InvalidFieldError
+
+                    raise InvalidFieldError("injected fault")
+
+                fleet.pbxes["pbx-2"].fault_injector = explode
+                fleet.connection().add(
+                    "cn=A B,o=Lucent",
+                    person_attrs("A B", "B", definityExtension="4100"),
+                )
+                assert fleet.pbxes["pbx-1"].contains("4100")
+                assert fleet.pbxes["pbx-3"].contains("4100")
+                assert fleet.messaging.size() == 1
+                assert len(fleet.error_log) == 1
+            finally:
+                fleet.close()

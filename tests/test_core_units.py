@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.errorlog import ErrorLog
 from repro.core.queue import GlobalUpdateQueue
-from repro.ldap import DN, Entry, LdapConnection, LdapServer, Session
+from repro.ldap import DN, LdapConnection, LdapServer, Session
 from repro.lexpress import UpdateDescriptor, UpdateOp
 from repro.ltap import AccessControl, AclRule, Rights, Subject
 

@@ -12,7 +12,7 @@ from repro.ldap import (
     ResultCode,
     Scope,
 )
-from repro.ldap.protocol import LdapRequest, Session
+from repro.ldap.protocol import LdapRequest
 from repro.ltap import LtapGateway, Trigger, TriggerTiming
 
 

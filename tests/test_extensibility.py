@@ -14,7 +14,6 @@ import pytest
 
 from repro.core import DeviceBinding, DeviceFilter, MetaComm, MetaCommConfig
 from repro.devices import Device, FieldSpec
-from repro.ldap import Modification
 from repro.ldap.schema import AttributeType
 from repro.lexpress import MappingSetBuilder
 from repro.schemas import PERSON_CLASSES

@@ -7,12 +7,9 @@ from hypothesis import given, settings
 from repro.ldap import (
     DN,
     Entry,
-    LdapConnection,
-    LdapServer,
-    Modification,
+            Modification,
     Rdn,
-    Scope,
-)
+    )
 from repro.ldap.backend import Backend
 
 

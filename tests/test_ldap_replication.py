@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ldap import DN, Entry, LdapConnection, LdapServer, Modification, Rdn
+from repro.ldap import LdapConnection, LdapServer, Modification
 from repro.ldap.replication import ReplicationEngine
 
 

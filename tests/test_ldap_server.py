@@ -3,9 +3,7 @@
 import pytest
 
 from repro.ldap import (
-    DN,
-    Entry,
-    LdapConnection,
+            LdapConnection,
     LdapError,
     LdapServer,
     Modification,

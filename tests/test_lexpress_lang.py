@@ -16,7 +16,7 @@ from repro.lexpress import (
     tokenize,
     truthy,
 )
-from repro.lexpress.ast import AttrRef, Call, Literal
+from repro.lexpress.ast import Call
 from repro.lexpress.parser import Parser
 
 

@@ -8,8 +8,7 @@ from repro.ldap import (
     DN,
     BusyError,
     ChangeType,
-    Entry,
-    LdapConnection,
+        LdapConnection,
     LdapError,
     LdapServer,
     Modification,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs.trace import OBS_TRACE, Span, Trace, Tracer, trace_span
+from repro.obs.trace import OBS_TRACE, Span, Tracer, trace_span
 
 
 class TestSpan:

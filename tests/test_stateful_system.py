@@ -8,7 +8,7 @@ deletions and resynchronizations, every repository agrees.
 
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, settings
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.core import MetaComm, MetaCommConfig
 from repro.ldap import LdapError, Modification

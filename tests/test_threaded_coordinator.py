@@ -56,7 +56,6 @@ class TestThreadedMode:
         assert system.consistent()
 
     def test_coordinator_failure_surfaces_to_caller(self, system):
-        from repro.devices import InvalidFieldError
 
         # A poisoned processing step propagates back to the blocked client.
         def explode(item, session):

@@ -1,6 +1,5 @@
 """Tests for the synthetic workload generators."""
 
-import pytest
 
 from repro.core import MetaComm, MetaCommConfig
 from repro.workloads import (
