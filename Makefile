@@ -1,11 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-pipeline lint stats
+.PHONY: test check bench-smoke bench bench-pipeline lint stats
 
 ## Tier-1: the full unit/integration suite (tests/ only).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## lexcheck: static analysis of the shipped mapping configuration
+## (docs/ANALYSIS.md).  Fails on any unsuppressed warning or error.
+check:
+	$(PYTHON) -m repro check --fail-on=warning
 
 ## Smoke: one benchmark file with metrics enabled — gates the
 ## instrumentation overhead of the observability layer.

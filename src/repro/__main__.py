@@ -5,8 +5,20 @@ Commands
 demo        the quickstart walk-through (default)
 tree        build and print the paper's Figure-2 sample tree as LDIF
 mappings    show the standard telecom mapping library (source + disassembly)
+check       lexcheck — static analysis of the mapping configuration
 stats       run the demo workload, dump metrics (Prometheus text) + traces
 experiments list the experiment harness and how to run it
+
+``check`` usage::
+
+    python -m repro check [--json] [--fail-on=warning] [--show-suppressed]
+                          [description.lex ...]
+
+With no files, analyzes the default MetaComm deployment (the standard
+mapping library plus its device bindings).  With files, compiles each
+lexpress description and analyzes them as one configuration.  Exit code
+is 1 when error-severity findings remain (or warnings, with
+``--fail-on=warning``), 0 otherwise.
 """
 
 from __future__ import annotations
@@ -14,7 +26,7 @@ from __future__ import annotations
 import sys
 
 
-def cmd_demo() -> int:
+def cmd_demo(args: list[str]) -> int:
     from repro.core import MetaComm, MetaCommConfig
     from repro.schemas import PERSON_CLASSES
 
@@ -40,7 +52,7 @@ def cmd_demo() -> int:
     return 0
 
 
-def cmd_tree() -> int:
+def cmd_tree(args: list[str]) -> int:
     from repro.ldap import LdapConnection, LdapServer, write_ldif
 
     server = LdapServer(["o=Lucent"])
@@ -62,7 +74,7 @@ def cmd_tree() -> int:
     return 0
 
 
-def cmd_mappings() -> int:
+def cmd_mappings(args: list[str]) -> int:
     from repro.schemas import render_mp_pair, render_pbx_pair, standard_mappings
 
     print(render_pbx_pair())
@@ -75,7 +87,83 @@ def cmd_mappings() -> int:
     return 0
 
 
-def cmd_stats() -> int:
+def cmd_check(args: list[str]) -> int:
+    """lexcheck: static analysis of a mapping configuration."""
+    from repro.analysis import (
+        AnalysisTarget,
+        InstanceBinding,
+        analyze,
+        render_json,
+        render_text,
+    )
+
+    as_json = False
+    fail_on = "error"
+    show_suppressed = False
+    files: list[str] = []
+    for arg in args:
+        if arg == "--json":
+            as_json = True
+        elif arg.startswith("--fail-on="):
+            fail_on = arg.split("=", 1)[1]
+            if fail_on not in ("error", "warning"):
+                print(f"check: bad --fail-on value {fail_on!r} "
+                      "(expected 'error' or 'warning')", file=sys.stderr)
+                return 2
+        elif arg == "--show-suppressed":
+            show_suppressed = True
+        elif arg.startswith("-"):
+            print(f"check: unknown option {arg!r}", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            files.append(arg)
+
+    if files:
+        from repro.lexpress import LexpressError, compile_description
+
+        mappings = {}
+        for path in files:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    source = handle.read()
+                compiled = compile_description(source)
+            except OSError as exc:
+                print(f"check: {path}: {exc}", file=sys.stderr)
+                return 2
+            except LexpressError as exc:
+                print(f"check: {path}: {exc}", file=sys.stderr)
+                return 2
+            for name, mapping in compiled.items():
+                if name in mappings:
+                    print(f"check: duplicate mapping {name!r} in {path}",
+                          file=sys.stderr)
+                    return 2
+                mappings[name] = mapping
+        target = AnalysisTarget(
+            mappings=list(mappings.values()),
+            # Each mapping is its own (unnarrowed) instance so partition
+            # constraints are checked against each other.
+            instances=[
+                InstanceBinding(m.name, m) for m in mappings.values()
+            ],
+        )
+        report = analyze(target)
+    else:
+        from repro.core import MetaComm, MetaCommConfig
+
+        with MetaComm(MetaCommConfig()) as system:
+            report = system.analyze()
+
+    if as_json:
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=show_suppressed))
+    failed = bool(report.errors) or (fail_on == "warning" and report.warnings)
+    return 1 if failed else 0
+
+
+def cmd_stats(args: list[str]) -> int:
     """Run the demo workload and dump the pipeline's observability data.
 
     Output is valid Prometheus text exposition format end to end: the
@@ -107,7 +195,7 @@ def cmd_stats() -> int:
     return 0
 
 
-def cmd_experiments() -> int:
+def cmd_experiments(args: list[str]) -> int:
     print(
         "Experiment harness (one module per DESIGN.md row):\n"
         "  pytest benchmarks/ --benchmark-only        # timings\n"
@@ -123,6 +211,7 @@ COMMANDS = {
     "demo": cmd_demo,
     "tree": cmd_tree,
     "mappings": cmd_mappings,
+    "check": cmd_check,
     "stats": cmd_stats,
     "experiments": cmd_experiments,
 }
@@ -135,7 +224,7 @@ def main(argv: list[str] | None = None) -> int:
     if command is None:
         print(__doc__)
         return 2
-    return command()
+    return command(argv[1:])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,149 @@
+"""Diagnostic records, the stable code catalogue, and inline suppressions.
+
+Every lexcheck finding is a :class:`Diagnostic` with a stable ``LXnnn``
+code, a severity, an optional source :class:`~repro.lexpress.ast.Span`,
+and a fix hint.  Codes are grouped by pass:
+
+* ``LX1xx`` — byte-code verifier (:mod:`repro.analysis.verifier`)
+* ``LX2xx`` — table/match totality and injectivity (:mod:`repro.analysis.rules`)
+* ``LX3xx`` — partition-constraint overlap and coverage
+  (:mod:`repro.analysis.partitions`)
+* ``LX4xx`` — closure-graph diagnostics (:mod:`repro.analysis.graph`)
+
+A finding can be silenced at its source line (or the line directly above)
+with an inline comment::
+
+    map lastUpdater = "pbx";   # lexcheck: ignore[LX403]
+
+``ignore`` with no bracket suppresses every code on that line.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from ..lexpress.ast import Span
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: The catalogue: code -> (severity, one-line title).  Stable across
+#: releases; new codes are appended, never renumbered (docs/ANALYSIS.md).
+CATALOG: dict[str, tuple[Severity, str]] = {
+    # -- byte-code verifier -------------------------------------------------
+    "LX101": (Severity.ERROR, "stack underflow"),
+    "LX102": (Severity.ERROR, "unbalanced stack"),
+    "LX103": (Severity.ERROR, "execution can fall off the end"),
+    "LX104": (Severity.ERROR, "jump target out of range"),
+    "LX105": (Severity.WARNING, "unreachable byte code"),
+    "LX106": (Severity.ERROR, "bad operand"),
+    "LX107": (Severity.WARNING, "scalar value in a multi-value position"),
+    "LX108": (Severity.INFO, "list value in a scalar position"),
+    # -- table / match totality and injectivity -----------------------------
+    "LX201": (Severity.WARNING, "partial table translation"),
+    "LX202": (Severity.WARNING, "non-injective table translation"),
+    "LX203": (Severity.WARNING, "duplicate table key"),
+    "LX204": (Severity.INFO, "match without wildcard arm"),
+    # -- partition constraints ----------------------------------------------
+    "LX301": (Severity.ERROR, "overlapping partition constraints"),
+    "LX302": (Severity.WARNING, "partition coverage gap"),
+    "LX303": (Severity.ERROR, "partition depends on unmapped attributes"),
+    # -- closure graph -------------------------------------------------------
+    "LX401": (Severity.ERROR, "non-convergent dependency cycle"),
+    "LX402": (Severity.INFO, "stable dependency cycle"),
+    "LX403": (Severity.WARNING, "non-commuting write-write conflict"),
+    "LX404": (Severity.WARNING, "dead rule"),
+    "LX405": (Severity.WARNING, "unreachable alternate"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    code: str
+    message: str
+    #: Name of the mapping the finding anchors to ("" for config-level).
+    mapping: str = ""
+    #: Target attribute of the rule involved, when there is one.
+    rule: str | None = None
+    span: Span | None = None
+    hint: str | None = None
+    #: Additional (mapping, span) anchors — e.g. the second rule of a
+    #: write-write pair.  A suppression at any anchor silences the finding.
+    related: tuple[tuple[str, Span | None], ...] = field(default=(), compare=False)
+
+    @property
+    def severity(self) -> Severity:
+        return CATALOG[self.code][0]
+
+    @property
+    def title(self) -> str:
+        return CATALOG[self.code][1]
+
+    def location(self) -> str:
+        where = self.mapping or "<config>"
+        if self.span is not None:
+            where += f":{self.span.line}:{self.span.column}"
+        return where
+
+    def __str__(self) -> str:
+        text = f"{self.location()}: {self.code} {self.severity.value}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_key(diagnostic: Diagnostic):
+    line = diagnostic.span.line if diagnostic.span else 0
+    return (diagnostic.severity.rank, diagnostic.mapping, line, diagnostic.code)
+
+
+# -- inline suppressions ---------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"#\s*lexcheck:\s*ignore(?:\[([A-Z0-9,\s]*)\])?")
+
+
+class Suppressions:
+    """Per-source-text index of ``# lexcheck: ignore[...]`` comments."""
+
+    def __init__(self, by_line: dict[int, frozenset[str] | None]):
+        #: line (1-based) -> codes suppressed there; None = all codes.
+        self.by_line = by_line
+        #: codes whose suppressions were actually used (for reporting).
+        self.used: set[tuple[int, str]] = set()
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        by_line: dict[int, frozenset[str] | None] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes = match.group(1)
+            if codes is None or not codes.strip():
+                by_line[lineno] = None
+            else:
+                by_line[lineno] = frozenset(
+                    c.strip() for c in codes.split(",") if c.strip()
+                )
+        return cls(by_line)
+
+    def matches(self, line: int, code: str) -> bool:
+        """Is *code* suppressed at *line* (same line or the line above)?"""
+        for candidate in (line, line - 1):
+            codes = self.by_line.get(candidate, frozenset())
+            if codes is None or code in codes:
+                self.used.add((candidate, code))
+                return True
+        return False

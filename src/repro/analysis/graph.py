@@ -1,0 +1,220 @@
+"""Pass 4 — closure-graph diagnostics (LX401–LX404).
+
+The transitive-closure engine (section 4.2) already probes dependency
+cycles for fixpoint stability at compile time; this pass surfaces those
+reports as diagnostics (LX401 error / LX402 info) and adds two
+whole-configuration checks no single mapping can see:
+
+* **Write-write conflicts** (LX403) — two mappings writing the same
+  target attribute.  The closure's first-win rule makes the outcome
+  depend on propagation order, which is harmless when the two
+  transformations commute (they compute the same value for the same
+  logical record) and silently order-dependent when they do not.
+  Commutativity is checked by probing: seed a propagation from one
+  rule's source schema, then evaluate the *other* rule on the propagated
+  image of its own source and compare against the attribute value the
+  closure settled on.  Constant rules (no dependencies — the
+  ``lastUpdater`` Originator pattern of section 5.4) are compared
+  directly.
+* **Dead rules** (LX404) — a rule whose dependencies are produced by
+  nothing in the configuration: no reverse-direction rule targets them
+  and the repository schema does not declare them.  The rule can only
+  ever yield null, so its target attribute is never set.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..lexpress.closure import ClosureEngine, _PROBE_VALUES, analyze_cycles
+from ..lexpress.interpreter import execute
+from ..lexpress.mapping import CompiledMapping, CompiledRule, _as_values
+from .diagnostics import Diagnostic
+
+
+def check_graph(
+    mappings: list[CompiledMapping],
+    schema_attributes: dict[str, frozenset[str]] | None = None,
+) -> list[Diagnostic]:
+    """Run all closure-graph checks over one set of mappings."""
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_check_cycles(mappings))
+    diagnostics.extend(_check_write_write(mappings))
+    diagnostics.extend(_check_dead_rules(mappings, schema_attributes or {}))
+    return diagnostics
+
+
+# -- cycles (LX401/LX402) ---------------------------------------------------------
+
+
+def _check_cycles(mappings: list[CompiledMapping]) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for report in analyze_cycles(mappings):
+        path = " -> ".join(f"{s}.{a}" for s, a in report.nodes)
+        if report.stable:
+            if len(report.nodes) <= 2:
+                # Every forward/backward pair of a schema pair round-trips
+                # through a stable 2-cycle by design; reporting each one
+                # would bury real findings.
+                continue
+            out.append(
+                Diagnostic(
+                    code="LX402",
+                    message=f"dependency cycle {path} converges "
+                    f"(probe trace: {' -> '.join(map(repr, report.trace))})",
+                )
+            )
+        else:
+            out.append(
+                Diagnostic(
+                    code="LX401",
+                    message=f"dependency cycle {path} never reaches a "
+                    f"fixpoint (probe trace: "
+                    f"{' -> '.join(map(repr, report.trace))})",
+                    hint="make the composed transformation idempotent, or "
+                    "break the cycle",
+                )
+            )
+    return out
+
+
+# -- write-write conflicts (LX403) -----------------------------------------------
+
+
+def _check_write_write(mappings: list[CompiledMapping]) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    writers: dict[tuple[str, str], list[tuple[CompiledMapping, CompiledRule]]] = {}
+    for mapping in mappings:
+        for rule in mapping.rules:
+            key = (mapping.target.lower(), rule.target.lower())
+            writers.setdefault(key, []).append((mapping, rule))
+    engine = ClosureEngine(mappings)
+    for (schema, attr), pairs in sorted(writers.items()):
+        for (map_a, rule_a), (map_b, rule_b) in combinations(pairs, 2):
+            if map_a.name == map_b.name:
+                continue  # same mapping: later rule simply loses, not order-dependent
+            witness = _non_commuting_witness(engine, map_a, rule_a, map_b, rule_b)
+            if witness is None:
+                continue
+            probe, value_a, value_b = witness
+            out.append(
+                Diagnostic(
+                    code="LX403",
+                    message=f"mappings {map_a.name!r} and {map_b.name!r} both "
+                    f"write {schema}.{attr} and do not commute: for probe "
+                    f"{probe!r} one writes {value_a!r}, the other "
+                    f"{value_b!r}; the closure's first-win rule makes the "
+                    "outcome order-dependent",
+                    mapping=map_a.name,
+                    rule=rule_a.target,
+                    span=rule_a.span,
+                    related=((map_b.name, rule_b.span),),
+                    hint="make both rules compute the same value, or drop "
+                    "one direction",
+                )
+            )
+    return out
+
+
+def _non_commuting_witness(
+    engine: ClosureEngine,
+    map_a: CompiledMapping,
+    rule_a: CompiledRule,
+    map_b: CompiledMapping,
+    rule_b: CompiledRule,
+):
+    """A (probe, value_a, value_b) triple proving the pair order-dependent,
+    or None when every probe commutes (or is inconclusive)."""
+    if not rule_a.deps and not rule_b.deps:
+        # Constant rules: compare the constants directly.
+        value_a = _as_values(execute(rule_a.code, {}))
+        value_b = _as_values(execute(rule_b.code, {}))
+        if value_a is not None and value_b is not None and value_a != value_b:
+            return ("<const>", value_a, value_b)
+        return None
+    for first, first_rule, second, second_rule in (
+        (map_a, rule_a, map_b, rule_b),
+        (map_b, rule_b, map_a, rule_a),
+    ):
+        if not first_rule.deps:
+            continue
+        for probe in _PROBE_VALUES:
+            seed = {dep: [probe] for dep in first_rule.deps}
+            try:
+                result = engine.propagate(first.source, seed)
+            except Exception:
+                continue  # non-draining closures are LX401's business
+            if result.unstable_conflicts():
+                continue  # probe produced an inconsistent state; inconclusive
+            settled = _image_value(result.image(first.target), first_rule.target)
+            if settled is None:
+                continue
+            second_image = result.image(second.source)
+            if not second_image:
+                continue
+            competing = _as_values(execute(second_rule.code, second_image))
+            if competing is not None and competing != settled:
+                return (probe, settled, competing)
+    return None
+
+
+def _image_value(image: dict[str, list[str]], attr: str) -> list[str] | None:
+    for name, values in image.items():
+        if name.lower() == attr.lower():
+            return values
+    return None
+
+
+# -- dead rules (LX404) -----------------------------------------------------------
+
+
+def _check_dead_rules(
+    mappings: list[CompiledMapping],
+    schema_attributes: dict[str, frozenset[str]],
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    producible: dict[str, set[str]] = {}
+    targeted: set[str] = set()
+    for schema, attrs in schema_attributes.items():
+        producible.setdefault(schema.lower(), set()).update(
+            a.lower() for a in attrs
+        )
+        targeted.add(schema.lower())
+    for mapping in mappings:
+        target = mapping.target.lower()
+        targeted.add(target)
+        producible.setdefault(target, set()).update(
+            r.target.lower() for r in mapping.rules
+        )
+        # The device generates its own key values (it is a repository, not
+        # just a projection), so the key source attribute always exists.
+        if mapping.key_source is not None:
+            producible.setdefault(mapping.source.lower(), set()).add(
+                mapping.key_source.lower()
+            )
+    for mapping in mappings:
+        source = mapping.source.lower()
+        if source not in targeted:
+            # Nothing in this configuration describes what the source
+            # schema holds; assume every attribute may exist.
+            continue
+        known = producible.get(source, set())
+        for rule in mapping.rules:
+            if not rule.deps or rule.deps & known:
+                continue
+            missing = ", ".join(sorted(rule.deps))
+            out.append(
+                Diagnostic(
+                    code="LX404",
+                    message=f"rule {rule.target!r} reads {missing}, which "
+                    f"nothing in the configuration produces on schema "
+                    f"{source!r}; the rule always evaluates to null",
+                    mapping=mapping.name,
+                    rule=rule.target,
+                    span=rule.span,
+                    hint="map the attribute in the reverse direction, "
+                    "declare it in the schema, or mark the rule "
+                    "device-generated with a lexcheck suppression",
+                )
+            )
+    return out

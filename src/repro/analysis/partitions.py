@@ -1,0 +1,195 @@
+"""Pass 3 — partition-constraint overlap and coverage (LX3xx).
+
+Partition constraints decide which device instance owns a directory
+record (section 4.2's routing matrix).  Two configuration mistakes
+corrupt the deployment silently:
+
+* **Overlap** — two instances of the same target schema both satisfied by
+  one record: the same person is ADDed to two PBXes and every later
+  modify fans out to both (LX301).
+* **Coverage gap** — a record no instance claims: updates for it are
+  routed nowhere and the directory drifts from every device (LX302).
+
+Satisfiability of arbitrary lexpress predicates is undecidable in
+general, so this pass *probes*: it derives candidate attribute values
+from the string constants mentioned by the constraints themselves (a
+constraint ``prefix(Extension, "41")`` suggests probing ``"41"``,
+``"4100"``, …) and evaluates every instance's combined constraint against
+each candidate image.  A witness value satisfying two instances is a
+definite overlap; a witness satisfying none is a likely gap.  Constraints
+that mention no constants (``present(TelephoneNumber)``) generate no
+probes and are never falsely flagged.
+
+LX303 is structural, not probe-based: a constraint is evaluated against
+the mapping's *target image* (see ``CompiledMapping.translate``), so a
+constraint depending on attributes no rule produces can never be
+satisfied — every update routes to SKIP or DELETE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..lexpress.bytecode import CodeObject, Op
+from ..lexpress.mapping import CompiledMapping
+from ..lexpress.partition import PartitionConstraint
+from .diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class InstanceBinding:
+    """A from-directory mapping bound to one concrete device instance.
+
+    Mirrors the Update Manager's ``DeviceBinding`` reduced to what the
+    analyzer needs: the compiled mapping and the per-instance partition
+    narrowing it (``None`` = the instance takes the mapping's whole
+    partition)."""
+
+    name: str
+    mapping: CompiledMapping
+    partition: PartitionConstraint | None = None
+
+    def satisfied_by(self, image) -> bool:
+        if not self.mapping.partition.satisfied_by(image):
+            return False
+        return self.partition is None or self.partition.satisfied_by(image)
+
+    @property
+    def deps(self) -> frozenset[str]:
+        deps = self.mapping.partition.deps
+        if self.partition is not None:
+            deps = deps | self.partition.deps
+        return deps
+
+
+def _string_consts(code: CodeObject) -> set[str]:
+    """String constants used as *values* (PUSH/MATCH_LIT operands) —
+    not attribute names or function names, which also live in the pool."""
+    out: set[str] = set()
+    for ins in code.instructions:
+        if ins.op in (Op.PUSH, Op.MATCH_LIT):
+            if isinstance(ins.arg, int) and 0 <= ins.arg < len(code.consts):
+                const = code.consts[ins.arg]
+                if isinstance(const, str) and const:
+                    out.add(const)
+        elif ins.op is Op.EACH_APPLY:
+            if isinstance(ins.arg, int) and 0 <= ins.arg < len(code.consts):
+                const = code.consts[ins.arg]
+                if isinstance(const, CodeObject):
+                    out.update(_string_consts(const))
+    return out
+
+
+def _probe_values(instances: list[InstanceBinding]) -> list[str]:
+    consts: set[str] = set()
+    for instance in instances:
+        consts.update(_string_consts(instance.mapping.partition.code))
+        if instance.partition is not None:
+            consts.update(_string_consts(instance.partition.code))
+    values: list[str] = []
+    for const in sorted(consts):
+        # The constant itself plus padded extensions of it: a prefix
+        # constraint is satisfied by all three, a longer competing prefix
+        # only by some — which is exactly what exposes overlaps and gaps.
+        for candidate in (const, const + "00", const + "000"):
+            if candidate not in values:
+                values.append(candidate)
+    return values
+
+
+def check_partitions(instances: list[InstanceBinding]) -> list[Diagnostic]:
+    """Run overlap/coverage/dependency checks over all instance bindings."""
+    diagnostics: list[Diagnostic] = []
+    groups: dict[str, list[InstanceBinding]] = {}
+    for instance in instances:
+        groups.setdefault(instance.mapping.target.lower(), []).append(instance)
+        diagnostics.extend(_check_deps(instance))
+    for schema, group in sorted(groups.items()):
+        diagnostics.extend(_check_group(schema, group))
+    return diagnostics
+
+
+def _check_deps(instance: InstanceBinding) -> list[Diagnostic]:
+    mapping = instance.mapping
+    producible = {r.target.lower() for r in mapping.rules}
+    missing = sorted(instance.deps - producible)
+    if not missing:
+        return []
+    return [
+        Diagnostic(
+            code="LX303",
+            message=f"partition of instance {instance.name!r} depends on "
+            f"{', '.join(missing)}, which no rule of mapping "
+            f"{mapping.name!r} produces; the constraint can never hold",
+            mapping=mapping.name,
+            span=mapping.decl.partition_span or mapping.decl.span,
+            hint="add a map rule for the attribute or rewrite the "
+            "constraint over mapped attributes",
+        )
+    ]
+
+
+def _check_group(schema: str, group: list[InstanceBinding]) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+
+    # Trivial overlap: several instances whose constraints read no
+    # attributes at all (AlwaysTrue or constant-true) claim every record.
+    if len(group) > 1:
+        trivial = [
+            i for i in group if not i.deps and i.satisfied_by({"any": ["x"]})
+        ]
+        for a, b in combinations(trivial, 2):
+            diagnostics.append(_overlap(schema, a, b, witness=None))
+
+    probes = _probe_values(group)
+    overlap_pairs: set[tuple[str, str]] = set()
+    gap_witnesses: list[str] = []
+    all_deps = sorted({dep for i in group for dep in i.deps})
+    if not all_deps:
+        return diagnostics
+    for value in probes:
+        image = {dep: [value] for dep in all_deps}
+        claimed = [i for i in group if i.satisfied_by(image)]
+        if len(claimed) > 1:
+            for a, b in combinations(claimed, 2):
+                pair = tuple(sorted((a.name, b.name)))
+                if pair not in overlap_pairs:
+                    overlap_pairs.add(pair)
+                    diagnostics.append(_overlap(schema, a, b, witness=value))
+        elif not claimed:
+            gap_witnesses.append(value)
+    if gap_witnesses:
+        shown = ", ".join(repr(w) for w in gap_witnesses[:3])
+        diagnostics.append(
+            Diagnostic(
+                code="LX302",
+                message=f"no {schema!r} instance claims a record with "
+                f"{'/'.join(all_deps)} = {shown}; updates for such records "
+                "are routed nowhere",
+                mapping=group[0].mapping.name,
+                span=group[0].mapping.decl.partition_span,
+                hint="widen a constraint or add a catch-all instance "
+                "(probe-derived: verify against the real dial plan)",
+            )
+        )
+    return diagnostics
+
+
+def _overlap(
+    schema: str, a: InstanceBinding, b: InstanceBinding, witness: str | None
+) -> Diagnostic:
+    if witness is None:
+        detail = "both constraints are trivially true"
+    else:
+        detail = f"witness value {witness!r} satisfies both"
+    return Diagnostic(
+        code="LX301",
+        message=f"instances {a.name!r} and {b.name!r} overlap on target "
+        f"schema {schema!r}: {detail}; records in the overlap are added to "
+        "both devices",
+        mapping=a.mapping.name,
+        span=a.mapping.decl.partition_span,
+        related=((b.mapping.name, b.mapping.decl.partition_span),),
+        hint="make the partition constraints mutually exclusive",
+    )

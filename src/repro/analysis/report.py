@@ -1,0 +1,48 @@
+"""Reporters: render an :class:`~repro.analysis.runner.AnalysisReport`.
+
+Two formats: a compiler-style text listing (one finding per line, sorted
+errors first) for humans and ``make check``, and a stable JSON document
+for tooling (CI annotations, dashboards).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import Diagnostic
+from .runner import AnalysisReport
+
+
+def render_text(report: AnalysisReport, show_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    for diagnostic in report.diagnostics:
+        lines.append(str(diagnostic))
+    if show_suppressed:
+        for diagnostic in report.suppressed:
+            lines.append(f"[suppressed] {diagnostic}")
+    lines.append(f"lexcheck: {report.summary()}")
+    return "\n".join(lines)
+
+
+def _diagnostic_json(diagnostic: Diagnostic) -> dict:
+    return {
+        "code": diagnostic.code,
+        "severity": diagnostic.severity.value,
+        "title": diagnostic.title,
+        "message": diagnostic.message,
+        "mapping": diagnostic.mapping or None,
+        "rule": diagnostic.rule,
+        "line": diagnostic.span.line if diagnostic.span else None,
+        "column": diagnostic.span.column if diagnostic.span else None,
+        "hint": diagnostic.hint,
+    }
+
+
+def render_json(report: AnalysisReport, indent: int | None = 2) -> str:
+    document = {
+        "summary": report.counts(),
+        "ok": report.ok,
+        "diagnostics": [_diagnostic_json(d) for d in report.diagnostics],
+        "suppressed": [_diagnostic_json(d) for d in report.suppressed],
+    }
+    return json.dumps(document, indent=indent)

@@ -1,0 +1,175 @@
+"""Pass 2 — table-translation totality and injectivity (LX2xx, LX405).
+
+Table translations are the workhorse of attribute mapping ("table
+translations of attributes", section 4.2), and two silent failure modes
+recur in practice:
+
+* **Partiality** — a table with no ``_`` default drops unmatched values on
+  the floor: the rule evaluates to null and the target attribute is
+  silently unset (LX201).
+* **Non-injectivity** — two keys translating to the same constant value
+  cannot be inverted by the reverse mapping of the schema pair, so a
+  round-trip through the meta-directory loses information (LX202).
+
+This pass works on the retained AST (``CompiledMapping.decl``), not the
+byte code — the table structure is flattened into compare-and-jump chains
+during compilation, while the AST states it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..lexpress.ast import (
+    BoolOp,
+    Call,
+    Compare,
+    Each,
+    Expr,
+    Literal,
+    Match,
+    NotOp,
+    Table,
+)
+from ..lexpress.mapping import CompiledMapping
+from .diagnostics import Diagnostic
+
+
+def _children(expr: Expr) -> Iterator[Expr]:
+    if isinstance(expr, Call):
+        yield from expr.args
+    elif isinstance(expr, Compare):
+        yield expr.left
+        yield expr.right
+    elif isinstance(expr, BoolOp):
+        yield expr.left
+        yield expr.right
+    elif isinstance(expr, NotOp):
+        yield expr.operand
+    elif isinstance(expr, Match):
+        yield expr.subject
+        for arm in expr.arms:
+            yield arm.body
+    elif isinstance(expr, Table):
+        yield expr.subject
+        for entry in expr.entries:
+            yield entry.body
+        if expr.default is not None:
+            yield expr.default
+    elif isinstance(expr, Each):
+        yield expr.body
+
+
+def _walk(expr: Expr) -> Iterator[Expr]:
+    yield expr
+    for child in _children(expr):
+        yield from _walk(child)
+
+
+def check_mapping_rules(mapping: CompiledMapping) -> list[Diagnostic]:
+    """Run the AST-level rule checks over every rule of one mapping."""
+    diagnostics: list[Diagnostic] = []
+    exprs: list[tuple[str | None, Expr]] = [
+        (decl_rule.target, decl_rule.expr) for decl_rule in mapping.decl.rules
+    ]
+    if mapping.decl.partition is not None:
+        exprs.append((None, mapping.decl.partition))
+    for rule_target, root in exprs:
+        for expr in _walk(root):
+            if isinstance(expr, Table):
+                diagnostics.extend(_check_table(mapping.name, rule_target, expr))
+            elif isinstance(expr, Match):
+                diagnostics.extend(_check_match(mapping.name, rule_target, expr))
+            elif isinstance(expr, Call):
+                diagnostics.extend(_check_alt(mapping.name, rule_target, expr))
+    return diagnostics
+
+
+def _check_table(mapping: str, rule: str | None, table: Table) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    seen_keys: dict[str, Expr] = {}
+    values: dict[str, list[str]] = {}
+    for entry in table.entries:
+        if entry.key in seen_keys:
+            out.append(
+                Diagnostic(
+                    code="LX203",
+                    message=f"table key {entry.key!r} appears more than once; "
+                    "the later entry never fires",
+                    mapping=mapping,
+                    rule=rule,
+                    span=entry.span or table.span,
+                    hint="remove the duplicate entry",
+                )
+            )
+        else:
+            seen_keys[entry.key] = entry.body
+        if isinstance(entry.body, Literal) and isinstance(entry.body.value, str):
+            values.setdefault(entry.body.value, []).append(entry.key)
+    for value, keys in values.items():
+        if len(keys) > 1:
+            out.append(
+                Diagnostic(
+                    code="LX202",
+                    message=f"keys {', '.join(repr(k) for k in keys)} all translate "
+                    f"to {value!r}; the reverse mapping cannot distinguish them",
+                    mapping=mapping,
+                    rule=rule,
+                    span=table.span,
+                    hint="make table values distinct, or accept the lossy "
+                    "round-trip explicitly",
+                )
+            )
+    if table.default is None:
+        out.append(
+            Diagnostic(
+                code="LX201",
+                message="table has no default entry; unmatched values are "
+                "silently dropped (rule evaluates to null)",
+                mapping=mapping,
+                rule=rule,
+                span=table.span,
+                hint="add a default arm: `default => ...`",
+            )
+        )
+    return out
+
+
+def _check_match(mapping: str, rule: str | None, match: Match) -> list[Diagnostic]:
+    if any(arm.pattern is None for arm in match.arms):
+        return []
+    return [
+        Diagnostic(
+            code="LX204",
+            message="match has no wildcard arm; unmatched subjects evaluate "
+            "to null",
+            mapping=mapping,
+            rule=rule,
+            span=match.span,
+            hint='add a catch-all arm: `_ => ...`',
+        )
+    ]
+
+
+def _check_alt(mapping: str, rule: str | None, call: Call) -> list[Diagnostic]:
+    """LX405: in alt()/ifnull(), arguments after a non-null literal never
+    evaluate — the literal always supplies the value."""
+    if call.function not in ("alt", "ifnull"):
+        return []
+    for i, arg in enumerate(call.args[:-1]):
+        if isinstance(arg, Literal) and arg.value is not None:
+            trailing = len(call.args) - i - 1
+            return [
+                Diagnostic(
+                    code="LX405",
+                    message=f"{call.function}() argument {i} is a non-null "
+                    f"literal; the {trailing} argument(s) after it never "
+                    "evaluate",
+                    mapping=mapping,
+                    rule=rule,
+                    span=arg.span or call.span,
+                    hint="move the literal last (it is the fallback) or drop "
+                    "the dead alternates",
+                )
+            ]
+    return []

@@ -1,0 +1,346 @@
+"""Pass 1 — abstract interpretation of lexpress byte code (LX1xx).
+
+The compiler's output obeys invariants the interpreter silently assumes:
+every path reaches RETURN with exactly one value on the stack, jump
+targets stay inside the code, CALLs name registered functions, MATCH_RE
+operands are compiled regexes.  Mappings loaded from description files
+always satisfy them, but :class:`~repro.lexpress.bytecode.CodeObject` is a
+public, mutable surface — programmatically built or patched code (the
+dynamic-loading story of section 4.2) is one bad ``emit`` away from a
+runtime crash mid-update.  This verifier walks every reachable program
+point with an abstract stack of *value kinds* and reports violations
+before the code ever runs.
+
+Kinds are sets over ``{null, str, bool, list}``; joins are unions.  The
+kind lattice also powers two lint-grade checks: a provably scalar value
+feeding a multi-value position (``count``/``join`` of a computed scalar —
+LX107) and a provably list value silently truncated to its first element
+in a scalar position (LX108).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..lexpress.bytecode import CodeObject, Op
+from ..lexpress.compiler import _LIST_ARG_FUNCTIONS
+from ..lexpress.functions import known_functions
+from .diagnostics import Diagnostic
+
+Kind = frozenset[str]
+
+NULL: Kind = frozenset({"null"})
+STR: Kind = frozenset({"str"})
+BOOL: Kind = frozenset({"bool"})
+LIST: Kind = frozenset({"list"})
+SCALAR: Kind = STR | NULL
+ANY: Kind = NULL | STR | BOOL | LIST
+
+#: Result kinds of the runtime function library (defaults to ANY).
+_RESULT_KINDS: dict[str, Kind] = {
+    "concat": SCALAR, "upper": SCALAR, "lower": SCALAR, "trim": SCALAR,
+    "substr": SCALAR, "replace": SCALAR, "pad": SCALAR, "digits": SCALAR,
+    "prefix": BOOL, "suffix": BOOL, "contains": BOOL, "matches": BOOL,
+    "present": BOOL, "empty": BOOL,
+    "split": LIST | NULL, "join": SCALAR,
+    "first": SCALAR, "last": SCALAR, "count": STR,
+}
+
+#: Multi-value positions where a provably scalar argument makes the call
+#: degenerate (count of a scalar is always "1", join of a scalar is the
+#: scalar).  present/empty/first/last/ifnull accept scalars meaningfully.
+_DEGENERATE_SCALAR = {"count", "join"}
+
+
+def _push(stack: tuple[Kind, ...], kind: Kind) -> tuple[Kind, ...]:
+    return stack + (kind,)
+
+
+def verify_code(
+    code: CodeObject,
+    mapping: str = "",
+    rule: str | None = None,
+) -> list[Diagnostic]:
+    """Verify one code object (and, recursively, its ``each`` bodies)."""
+    return list(_Verifier(code, mapping, rule).run())
+
+
+class _Verifier:
+    def __init__(self, code: CodeObject, mapping: str, rule: str | None):
+        self.code = code
+        self.mapping = mapping
+        self.rule = rule
+        self.diagnostics: list[Diagnostic] = []
+        self.reported: set[tuple[str, int]] = set()
+
+    def run(self) -> Iterable[Diagnostic]:
+        instructions = self.code.instructions
+        if not instructions:
+            # Empty code objects are legal sentinels (AlwaysTrue) and are
+            # never executed; nothing to verify.
+            return self.diagnostics
+
+        # states: pc -> abstract stack (tuple of kinds); worklist algorithm.
+        states: dict[int, tuple[Kind, ...]] = {0: ()}
+        worklist = [0]
+        visited: set[int] = set()
+        while worklist:
+            pc = worklist.pop()
+            if pc >= len(instructions):
+                self.report(
+                    "LX103",
+                    pc,
+                    f"execution can run past the last instruction of {self.code.name!r}",
+                    hint="end every path with RETURN",
+                )
+                continue
+            visited.add(pc)
+            stack = states[pc]
+            for succ, next_stack in self.step(pc, stack):
+                if succ is None:
+                    continue
+                known = states.get(succ)
+                if known is None:
+                    states[succ] = next_stack
+                    worklist.append(succ)
+                elif len(known) != len(next_stack):
+                    self.report(
+                        "LX102",
+                        succ,
+                        f"stack depth disagrees at instruction {succ} "
+                        f"({len(known)} vs {len(next_stack)})",
+                        hint="every path into a join point must push the same "
+                        "number of values",
+                    )
+                else:
+                    merged = tuple(a | b for a, b in zip(known, next_stack))
+                    if merged != known:
+                        states[succ] = merged
+                        worklist.append(succ)
+
+        for pc in range(len(instructions)):
+            if pc not in visited:
+                self.report(
+                    "LX105",
+                    pc,
+                    f"instruction {pc} ({instructions[pc]}) is unreachable",
+                    hint="simplify the expression; dead arms never fire",
+                )
+        return self.diagnostics
+
+    # -- transfer function ---------------------------------------------------
+
+    def step(
+        self, pc: int, stack: tuple[Kind, ...]
+    ) -> list[tuple[int | None, tuple[Kind, ...]]]:
+        """Successor (pc, stack) pairs of one instruction; None pc = stop."""
+        ins = self.code.instructions[pc]
+        op = ins.op
+        consts = self.code.consts
+
+        def underflow(needed: int) -> bool:
+            if len(stack) < needed:
+                self.report(
+                    "LX101",
+                    pc,
+                    f"{op.name} needs {needed} stack value(s), found {len(stack)}",
+                )
+                return True
+            return False
+
+        def const_ok(index, expected=None, what: str = "constant") -> bool:
+            if not isinstance(index, int) or not 0 <= index < len(consts):
+                self.report("LX106", pc, f"{op.name}: bad constant index {index!r}")
+                return False
+            if expected is not None and not isinstance(consts[index], expected):
+                self.report(
+                    "LX106",
+                    pc,
+                    f"{op.name}: constant {index} is not a {what} "
+                    f"(found {type(consts[index]).__name__})",
+                )
+                return False
+            return True
+
+        if op is Op.PUSH:
+            if not const_ok(ins.arg):
+                return [(pc + 1, _push(stack, ANY))]
+            const = consts[ins.arg]
+            kind = (
+                NULL if const is None
+                else BOOL if isinstance(const, bool)
+                else STR if isinstance(const, str)
+                else ANY
+            )
+            return [(pc + 1, _push(stack, kind))]
+
+        if op in (Op.LOAD_ATTR, Op.LOAD_ALL):
+            const_ok(ins.arg, str, "attribute name")
+            kind = SCALAR if op is Op.LOAD_ATTR else LIST
+            return [(pc + 1, _push(stack, kind))]
+
+        if op is Op.LOAD_GROUP:
+            return [(pc + 1, _push(stack, SCALAR))]
+
+        if op is Op.LOAD_VALUE:
+            return [(pc + 1, _push(stack, SCALAR))]
+
+        if op is Op.CALL:
+            arg = ins.arg
+            if (
+                not isinstance(arg, tuple)
+                or len(arg) != 2
+                or not all(isinstance(a, int) for a in arg)
+            ):
+                self.report("LX106", pc, f"CALL: malformed operand {arg!r}")
+                return [(pc + 1, _push(stack, ANY))]
+            name_idx, argc = arg
+            name = None
+            if const_ok(name_idx, str, "function name"):
+                name = consts[name_idx]
+                if name not in known_functions():
+                    self.report(
+                        "LX106",
+                        pc,
+                        f"CALL: unknown function {name!r}",
+                        hint=f"known: {', '.join(known_functions())}",
+                    )
+                    name = None
+            if underflow(argc):
+                return [(pc + 1, (ANY,))]
+            args, rest = stack[len(stack) - argc:], stack[: len(stack) - argc]
+            if name is not None:
+                self.check_arg_kinds(pc, name, args)
+            result = _RESULT_KINDS.get(name, ANY) if name else ANY
+            return [(pc + 1, _push(rest, result))]
+
+        if op in (Op.MATCH_RE, Op.MATCH_LIT):
+            if op is Op.MATCH_RE:
+                if const_ok(ins.arg) and not hasattr(consts[ins.arg], "search"):
+                    self.report(
+                        "LX106",
+                        pc,
+                        f"MATCH_RE: constant {ins.arg} is not a compiled regex",
+                    )
+            else:
+                const_ok(ins.arg, str, "literal")
+            if underflow(1):
+                return [(pc + 1, (BOOL,))]
+            return [(pc + 1, _push(stack[:-1], BOOL))]
+
+        if op is Op.EACH_APPLY:
+            if const_ok(ins.arg, CodeObject, "code object"):
+                body: CodeObject = consts[ins.arg]
+                self.diagnostics.extend(
+                    verify_code(body, self.mapping, self.rule)
+                )
+            if underflow(1):
+                return [(pc + 1, (LIST,))]
+            return [(pc + 1, _push(stack[:-1], LIST))]
+
+        if op is Op.DUP:
+            if underflow(1):
+                return [(pc + 1, (ANY, ANY))]
+            return [(pc + 1, _push(stack, stack[-1]))]
+
+        if op is Op.POP:
+            if underflow(1):
+                return [(pc + 1, ())]
+            return [(pc + 1, stack[:-1])]
+
+        if op is Op.IS_NULL:
+            if underflow(1):
+                return [(pc + 1, (BOOL,))]
+            return [(pc + 1, _push(stack[:-1], BOOL))]
+
+        if op in (Op.EQ, Op.NEQ):
+            if underflow(2):
+                return [(pc + 1, (BOOL,))]
+            return [(pc + 1, _push(stack[:-2], BOOL))]
+
+        if op is Op.NOT:
+            if underflow(1):
+                return [(pc + 1, (BOOL,))]
+            return [(pc + 1, _push(stack[:-1], BOOL))]
+
+        if op in (Op.JUMP, Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE):
+            next_stack = stack
+            if op is not Op.JUMP:
+                if underflow(1):
+                    next_stack = ()
+                else:
+                    next_stack = stack[:-1]
+            target = ins.arg
+            if not isinstance(target, int) or not 0 <= target <= len(self.code):
+                self.report(
+                    "LX104",
+                    pc,
+                    f"{op.name}: target {target!r} outside [0, {len(self.code)})",
+                )
+                targets: list[tuple[int | None, tuple[Kind, ...]]] = []
+            elif target == len(self.code):
+                self.report(
+                    "LX103",
+                    pc,
+                    f"{op.name} at {pc} jumps past the last instruction",
+                    hint="end every path with RETURN",
+                )
+                targets = []
+            else:
+                targets = [(target, next_stack)]
+            if op is not Op.JUMP:
+                targets.append((pc + 1, next_stack))
+            return targets
+
+        if op is Op.RETURN:
+            if len(stack) != 1:
+                self.report(
+                    "LX102",
+                    pc,
+                    f"RETURN with stack depth {len(stack)} (expected 1)",
+                    hint="an expression leaves exactly one value",
+                )
+            return [(None, ())]
+
+        self.report("LX106", pc, f"unknown opcode {op!r}")  # future-proofing
+        return [(pc + 1, stack)]
+
+    def check_arg_kinds(self, pc: int, name: str, args: tuple[Kind, ...]) -> None:
+        """LX107/LX108: list/scalar mismatches against the function table."""
+        positions = _LIST_ARG_FUNCTIONS.get(name, set())
+        for i, kind in enumerate(args):
+            wants_list = positions == "all" or i in positions
+            if wants_list and name in _DEGENERATE_SCALAR and "list" not in kind:
+                self.report(
+                    "LX107",
+                    pc,
+                    f"{name}() argument {i} is never multi-valued; the call "
+                    "is degenerate",
+                    hint="pass an attribute reference directly so all its "
+                    "values are seen",
+                )
+            elif not wants_list and kind == LIST:
+                self.report(
+                    "LX108",
+                    pc,
+                    f"{name}() argument {i} is always a list; only its first "
+                    "value will be used",
+                    hint="wrap it in first()/join() to make the choice explicit",
+                )
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self, code: str, pc: int, message: str, hint: str | None = None) -> None:
+        if (code, pc) in self.reported:
+            return
+        self.reported.add((code, pc))
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                message=f"{self.code.name}: {message}",
+                mapping=self.mapping,
+                rule=self.rule,
+                span=self.code.span_at(pc),
+                hint=hint,
+            )
+        )

@@ -77,6 +77,12 @@ class MetaCommConfig:
     #: disjoint, so per-device histories are unchanged — see
     #: docs/PIPELINE.md for the serialization argument).
     fanout_workers: int = 1
+    #: Run lexcheck (repro.analysis) over the full configuration before
+    #: constructing the Update Manager and refuse to boot on any
+    #: error-severity finding (docs/ANALYSIS.md).  Off by default: the
+    #: analyzer costs a few closure probes per boot and most tests build
+    #: throwaway configurations.
+    strict_analysis: bool = False
 
 
 class MetaComm:
@@ -151,6 +157,15 @@ class MetaComm:
                     from_ldap=self.mappings["ldap_to_mp"],
                 )
             )
+
+        self._bindings = bindings
+        if self.config.strict_analysis:
+            # Boot gate: a configuration with error-severity findings
+            # (overlapping partitions, broken byte code, ...) would corrupt
+            # repositories at the first update — refuse to build the UM.
+            from ..analysis import analyze_strict
+
+            analyze_strict(self.analysis_target(), registry=self.obs.registry)
 
         self.um = UpdateManager(
             self.server,
@@ -238,6 +253,36 @@ class MetaComm:
 
     def find_person(self, filter_text: str) -> list[Entry]:
         return self.connection().search(self.suffix, filter=filter_text)
+
+    # -- static analysis -------------------------------------------------------------
+
+    def analysis_target(self):
+        """This deployment as a lexcheck :class:`~repro.analysis.AnalysisTarget`:
+        every compiled mapping, one instance binding per device (with its
+        partition constraint), and the integrated schema's attributes."""
+        from ..analysis import AnalysisTarget, InstanceBinding
+
+        return AnalysisTarget(
+            mappings=list(self.mappings.values()),
+            instances=[
+                InstanceBinding(b.name, b.from_ldap, b.partition)
+                for b in self._bindings
+            ],
+            schema_attributes={
+                "ldap": frozenset(self.schema.attribute_names())
+            },
+        )
+
+    def analyze(self, strict: bool = False):
+        """Run lexcheck over the live configuration.
+
+        Returns an :class:`~repro.analysis.AnalysisReport`; with
+        ``strict=True`` raises :class:`~repro.analysis.AnalysisError` on
+        error findings, mirroring ``MetaCommConfig(strict_analysis=True)``."""
+        from ..analysis import analyze, analyze_strict
+
+        run = analyze_strict if strict else analyze
+        return run(self.analysis_target(), registry=self.obs.registry)
 
     # -- observability ---------------------------------------------------------------
 

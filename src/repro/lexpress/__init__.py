@@ -15,6 +15,7 @@ points are :func:`compile_description` / :func:`compile_mapping`, the
 :class:`MappingSetBuilder` for generating both directions of a pair.
 """
 
+from .ast import Span
 from .bytecode import CodeObject, Instruction, Op
 from .closure import (
     ClosureEngine,
@@ -61,7 +62,7 @@ __all__ = [
     "CyclicDependencyError", "FixpointError", "Instruction",
     "LexpressCompileError", "LexpressError", "LexpressRuntimeError",
     "LexpressSyntaxError", "MappingInstance", "MappingSetBuilder", "Op",
-    "PartitionConstraint", "TargetAction", "TargetUpdate", "Token",
+    "PartitionConstraint", "Span", "TargetAction", "TargetUpdate", "Token",
     "TokenType", "UpdateDescriptor", "UpdateOp", "analyze_cycles",
     "check_cycles", "compile_description", "compile_expr",
     "compile_mapping", "dependency_graph", "execute", "known_functions",

@@ -1,17 +1,46 @@
-"""Abstract syntax tree for the lexpress mapping language."""
+"""Abstract syntax tree for the lexpress mapping language.
+
+Every node optionally carries a :class:`Span` — the source position of the
+token that opened it.  Spans flow from the lexer (token line/column)
+through the parser into the AST, from there into compiled byte code
+(:attr:`~repro.lexpress.bytecode.CodeObject.spans`), and finally into
+static-analysis diagnostics (:mod:`repro.analysis`), so a finding about a
+rule deep inside a mapping can point at the exact source line.  Spans are
+excluded from equality so structurally identical expressions still compare
+equal.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """A position in lexpress source text (1-based, like the lexer)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+#: Shorthand for the optional, equality-neutral span field every node has.
+def _span_field():
+    return field(default=None, compare=False, repr=False)
 
 
 class Expr:
     """Base class for expressions."""
 
+    span: Span | None = None
+
 
 @dataclass(frozen=True)
 class Literal(Expr):
     value: str | bool | None
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -19,6 +48,7 @@ class AttrRef(Expr):
     """Reference to a source attribute (first value, or None when absent)."""
 
     name: str
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -26,17 +56,21 @@ class GroupRef(Expr):
     """``$n`` — capture group of the nearest enclosing match arm."""
 
     index: int
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class ValueRef(Expr):
     """``value`` — the element variable of the nearest enclosing ``each``."""
 
+    span: Span | None = _span_field()
+
 
 @dataclass(frozen=True)
 class Call(Expr):
     function: str
     args: tuple[Expr, ...]
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -44,6 +78,7 @@ class Compare(Expr):
     op: str  # "==" or "!="
     left: Expr
     right: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -51,11 +86,13 @@ class BoolOp(Expr):
     op: str  # "and" or "or"
     left: Expr
     right: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class NotOp(Expr):
     operand: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -66,18 +103,21 @@ class MatchArm:
     pattern: str | None
     body: Expr
     literal: bool = False  # pattern came from a string (exact match)
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class Match(Expr):
     subject: Expr
     arms: tuple[MatchArm, ...]
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class TableEntry:
     key: str
     body: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -85,6 +125,7 @@ class Table(Expr):
     subject: Expr
     entries: tuple[TableEntry, ...]
     default: Expr | None
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -94,6 +135,7 @@ class Each(Expr):
 
     attribute: str
     body: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -102,6 +144,7 @@ class MapRule:
 
     target: str
     expr: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -114,6 +157,9 @@ class MappingDecl:
     originator: str | None
     rules: tuple[MapRule, ...]
     partition: Expr | None
+    span: Span | None = _span_field()
+    #: Span of the ``partition when`` statement, when present.
+    partition_span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)

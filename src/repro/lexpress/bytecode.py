@@ -15,6 +15,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from .ast import Span
+
 
 class Op(enum.Enum):
     PUSH = "push"            # arg: const index
@@ -55,13 +57,21 @@ class CodeObject:
 
     ``deps`` is the set of (lower-cased) source attribute names the
     expression reads — the raw material for dependency propagation and
-    transitive-closure analysis.
+    transitive-closure analysis.  ``spans`` runs parallel to
+    ``instructions``: the source position of the expression each
+    instruction was emitted for (None when unknown), which is how static
+    analysis maps a byte-code finding back to a source line.
     """
 
     name: str
     instructions: list[Instruction] = field(default_factory=list)
     consts: list[Any] = field(default_factory=list)
     deps: frozenset[str] = frozenset()
+    spans: list[Span | None] = field(default_factory=list)
+    #: Span of the whole expression (the rule's right-hand side).
+    span: Span | None = None
+    #: Set by the compiler while emitting; recorded per instruction.
+    current_span: Span | None = None
 
     def const(self, value: Any) -> int:
         """Intern *value* in the constant pool, returning its index."""
@@ -74,16 +84,39 @@ class CodeObject:
     def emit(self, op: Op, arg: Any = None) -> int:
         """Append an instruction; returns its index (for jump patching)."""
         self.instructions.append(Instruction(op, arg))
+        self.spans.append(self.current_span)
         return len(self.instructions) - 1
 
     def patch(self, index: int, arg: Any) -> None:
         self.instructions[index] = Instruction(self.instructions[index].op, arg)
 
+    def span_at(self, index: int) -> Span | None:
+        """Source span of instruction *index* (falls back to the code span)."""
+        if 0 <= index < len(self.spans) and self.spans[index] is not None:
+            return self.spans[index]
+        return self.span
+
     def disassemble(self) -> str:
         lines = [f"code {self.name!r} (deps: {', '.join(sorted(self.deps)) or '-'})"]
+        if self.consts:
+            lines.append("  consts:")
+            for i, const in enumerate(self.consts):
+                lines.append(f"    [{i:2d}] {_render_const(const)}")
         for i, ins in enumerate(self.instructions):
-            lines.append(f"  {i:4d}  {ins}")
+            span = self.spans[i] if i < len(self.spans) else None
+            where = f"  ; {span}" if span is not None else ""
+            lines.append(f"  {i:4d}  {ins}{where}")
         return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+
+def _render_const(const: Any) -> str:
+    """One constant-pool entry for :meth:`CodeObject.disassemble`."""
+    if isinstance(const, CodeObject):
+        body = const.disassemble().replace("\n", "\n    ")
+        return f"<code {const.name!r}>\n    {body}"
+    if hasattr(const, "pattern"):  # compiled regex
+        return f"/{const.pattern}/"
+    return repr(const)

@@ -54,14 +54,27 @@ class ExprCompiler:
         self.deps: set[str] = set()
 
     def compile(self, expr: Expr) -> CodeObject:
+        self.code.span = expr.span
         self._emit_expr(expr)
         self.code.emit(Op.RETURN)
         self.code.deps = frozenset(self.deps)
+        self.code.current_span = None
         return self.code
 
     # -- dispatch -----------------------------------------------------------
 
     def _emit_expr(self, expr: Expr) -> None:
+        # Tag every instruction emitted for this (sub)expression with its
+        # source span; inner expressions override, then restore.
+        previous_span = self.code.current_span
+        if expr.span is not None:
+            self.code.current_span = expr.span
+        try:
+            self._dispatch(expr)
+        finally:
+            self.code.current_span = previous_span
+
+    def _dispatch(self, expr: Expr) -> None:
         if isinstance(expr, Literal):
             self.code.emit(Op.PUSH, self.code.const(expr.value))
         elif isinstance(expr, AttrRef):

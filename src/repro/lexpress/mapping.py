@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from .ast import AttrRef, MappingDecl
+from .ast import AttrRef, MappingDecl, Span
 from .bytecode import CodeObject
 from .compiler import compile_expr
 from .descriptor import (
@@ -43,6 +43,8 @@ class CompiledRule:
 
     target: str
     code: CodeObject
+    #: Source position of the ``map`` statement (None for synthesized rules).
+    span: "Span | None" = None
 
     @property
     def deps(self) -> frozenset[str]:
@@ -70,9 +72,20 @@ class CompiledMapping:
         self.key_source = decl.key_source
         self.key_target = decl.key_target
         self.originator = decl.originator
+        #: The declaration this mapping was compiled from, and the source
+        #: text of the description it came from — retained for static
+        #: analysis (span resolution and inline suppression comments).
+        self.decl = decl
+        self.source_text: str | None = None
 
-        rules = [CompiledRule(r.target, compile_expr(r.expr, f"{decl.name}.{r.target}"))
-                 for r in decl.rules]
+        rules = [
+            CompiledRule(
+                r.target,
+                compile_expr(r.expr, f"{decl.name}.{r.target}"),
+                span=r.span,
+            )
+            for r in decl.rules
+        ]
         # The key attribute must always be mapped; default to identity.
         if self.key_target is not None and not any(
             r.target.lower() == self.key_target.lower() for r in rules
@@ -88,6 +101,7 @@ class CompiledMapping:
                     compile_expr(
                         AttrRef(self.key_source), f"{decl.name}.{self.key_target}"
                     ),
+                    span=decl.span,
                 ),
             )
         self.rules: tuple[CompiledRule, ...] = tuple(rules)
@@ -324,7 +338,9 @@ def compile_description(source: str) -> dict[str, CompiledMapping]:
     for decl in description.mappings:
         if decl.name in out:
             raise LexpressCompileError(f"duplicate mapping name {decl.name!r}")
-        out[decl.name] = CompiledMapping(decl)
+        mapping = CompiledMapping(decl)
+        mapping.source_text = source
+        out[decl.name] = mapping
     return out
 
 

@@ -44,12 +44,17 @@ from .ast import (
     Match,
     MatchArm,
     NotOp,
+    Span,
     Table,
     TableEntry,
     ValueRef,
 )
 from .errors import LexpressSyntaxError
 from .lexer import Token, TokenType, tokenize
+
+
+def _span(token: Token) -> Span:
+    return Span(token.line, token.column)
 
 
 class Parser:
@@ -113,7 +118,7 @@ class Parser:
         return Description(tuple(mappings))
 
     def parse_mapping(self) -> MappingDecl:
-        self.expect_keyword("mapping")
+        mapping_token = self.expect_keyword("mapping")
         name = self.expect_ident()
         self.expect(TokenType.LBRACE)
 
@@ -122,6 +127,7 @@ class Parser:
         originator = None
         rules: list[MapRule] = []
         partition: Expr | None = None
+        partition_span: Span | None = None
         seen_targets: set[str] = set()
 
         while not self.accept(TokenType.RBRACE):
@@ -157,11 +163,12 @@ class Parser:
                 self.expect(TokenType.ASSIGN)
                 expr = self.parse_expr()
                 self.expect(TokenType.SEMI)
-                rules.append(MapRule(rule_target, expr))
+                rules.append(MapRule(rule_target, expr, span=_span(token)))
             elif token.is_keyword("partition"):
                 self.advance()
                 self.expect_keyword("when")
                 partition = self.parse_expr()
+                partition_span = _span(token)
                 self.expect(TokenType.SEMI)
             else:
                 raise self.error("expected a mapping statement")
@@ -179,6 +186,8 @@ class Parser:
             originator=originator,
             rules=tuple(rules),
             partition=partition,
+            span=_span(mapping_token),
+            partition_span=partition_span,
         )
 
     # -- expressions -----------------------------------------------------------
@@ -189,51 +198,53 @@ class Parser:
     def parse_or(self) -> Expr:
         left = self.parse_and()
         while self.accept_keyword("or"):
-            left = BoolOp("or", left, self.parse_and())
+            left = BoolOp("or", left, self.parse_and(), span=left.span)
         return left
 
     def parse_and(self) -> Expr:
         left = self.parse_not()
         while self.accept_keyword("and"):
-            left = BoolOp("and", left, self.parse_not())
+            left = BoolOp("and", left, self.parse_not(), span=left.span)
         return left
 
     def parse_not(self) -> Expr:
+        token = self.peek()
         if self.accept_keyword("not"):
-            return NotOp(self.parse_not())
+            return NotOp(self.parse_not(), span=_span(token))
         return self.parse_comparison()
 
     def parse_comparison(self) -> Expr:
         left = self.parse_primary()
         if self.accept(TokenType.EQEQ):
-            return Compare("==", left, self.parse_primary())
+            return Compare("==", left, self.parse_primary(), span=left.span)
         if self.accept(TokenType.NEQ):
-            return Compare("!=", left, self.parse_primary())
+            return Compare("!=", left, self.parse_primary(), span=left.span)
         return left
 
     def parse_primary(self) -> Expr:
         token = self.peek()
+        span = _span(token)
         if token.type is TokenType.STRING:
             self.advance()
-            return Literal(token.text)
+            return Literal(token.text, span=span)
         if token.type is TokenType.NUMBER:
             self.advance()
-            return Literal(token.text)
+            return Literal(token.text, span=span)
         if token.is_keyword("null"):
             self.advance()
-            return Literal(None)
+            return Literal(None, span=span)
         if token.is_keyword("true"):
             self.advance()
-            return Literal(True)
+            return Literal(True, span=span)
         if token.is_keyword("false"):
             self.advance()
-            return Literal(False)
+            return Literal(False, span=span)
         if token.type is TokenType.GROUP:
             self.advance()
-            return GroupRef(int(token.text))
+            return GroupRef(int(token.text), span=span)
         if token.is_keyword("value"):
             self.advance()
-            return ValueRef()
+            return ValueRef(span=span)
         if token.is_keyword("match"):
             return self.parse_match()
         if token.is_keyword("table"):
@@ -248,11 +259,11 @@ class Parser:
         if token.type is TokenType.IDENT:
             self.advance()
             if self.peek().type is TokenType.LPAREN:
-                return self.parse_call(token.text)
-            return AttrRef(token.text)
+                return self.parse_call(token.text, span)
+            return AttrRef(token.text, span=span)
         raise self.error("expected an expression")
 
-    def parse_call(self, function: str) -> Expr:
+    def parse_call(self, function: str, span: Span | None = None) -> Expr:
         self.expect(TokenType.LPAREN)
         args: list[Expr] = []
         if self.peek().type is not TokenType.RPAREN:
@@ -260,10 +271,10 @@ class Parser:
             while self.accept(TokenType.COMMA):
                 args.append(self.parse_expr())
         self.expect(TokenType.RPAREN)
-        return Call(function, tuple(args))
+        return Call(function, tuple(args), span=span)
 
     def parse_match(self) -> Expr:
-        self.expect_keyword("match")
+        match_token = self.expect_keyword("match")
         subject = self.parse_primary()
         self.expect(TokenType.LBRACE)
         arms: list[MatchArm] = []
@@ -288,15 +299,15 @@ class Parser:
             self.expect(TokenType.ARROW)
             body = self.parse_expr()
             self.expect(TokenType.SEMI)
-            arms.append(MatchArm(pattern, body, literal))
+            arms.append(MatchArm(pattern, body, literal, span=_span(token)))
             if saw_wildcard and self.peek().type is not TokenType.RBRACE:
                 raise self.error("'_' must be the last match arm")
         if not arms:
             raise self.error("match expression needs at least one arm")
-        return Match(subject, tuple(arms))
+        return Match(subject, tuple(arms), span=_span(match_token))
 
     def parse_table(self) -> Expr:
-        self.expect_keyword("table")
+        table_token = self.expect_keyword("table")
         subject = self.parse_primary()
         self.expect(TokenType.LBRACE)
         entries: list[TableEntry] = []
@@ -309,19 +320,19 @@ class Parser:
                 if self.peek().type is not TokenType.RBRACE:
                     raise self.error("'default' must be the last table entry")
                 continue
-            key = self.expect(TokenType.STRING).text
+            key_token = self.expect(TokenType.STRING)
             self.expect(TokenType.ARROW)
             body = self.parse_expr()
             self.expect(TokenType.SEMI)
-            entries.append(TableEntry(key, body))
-        return Table(subject, tuple(entries), default)
+            entries.append(TableEntry(key_token.text, body, span=_span(key_token)))
+        return Table(subject, tuple(entries), default, span=_span(table_token))
 
     def parse_each(self) -> Expr:
-        self.expect_keyword("each")
+        each_token = self.expect_keyword("each")
         attribute = self.expect_ident()
         self.expect(TokenType.ARROW)
         body = self.parse_expr()
-        return Each(attribute, body)
+        return Each(attribute, body, span=_span(each_token))
 
 
 def parse(source: str) -> Description:

@@ -1,0 +1,511 @@
+"""Tests for repro.analysis (lexcheck): each diagnostic code, suppression,
+reporters, the strict boot gate, and the metrics export."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    AnalysisReport,
+    AnalysisTarget,
+    CATALOG,
+    Diagnostic,
+    InstanceBinding,
+    Severity,
+    analyze,
+    analyze_strict,
+    render_json,
+    render_text,
+    verify_code,
+)
+from repro.lexpress import (
+    CodeObject,
+    Op,
+    PartitionConstraint,
+    compile_description,
+    compile_expr,
+    compile_mapping,
+    tokenize,
+)
+from repro.lexpress.parser import Parser
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def expr_code(source: str) -> CodeObject:
+    parser = Parser(tokenize(source))
+    return compile_expr(parser.parse_expr(), source)
+
+
+def codes(diagnostics) -> set[str]:
+    return {d.code for d in diagnostics}
+
+
+def target_for(source: str, with_instances: bool = True) -> AnalysisTarget:
+    mappings = compile_description(source)
+    instances = (
+        [InstanceBinding(m.name, m) for m in mappings.values()]
+        if with_instances
+        else []
+    )
+    return AnalysisTarget(mappings=list(mappings.values()), instances=instances)
+
+
+# -- pass 1: byte-code verifier ---------------------------------------------------
+
+
+class TestVerifier:
+    def test_clean_compiled_code_verifies(self):
+        assert verify_code(expr_code('concat(upper(Name), "x")')) == []
+
+    def test_empty_code_object_is_legal(self):
+        assert verify_code(CodeObject("partition:always")) == []
+
+    def test_lx101_stack_underflow(self):
+        code = CodeObject("bad")
+        code.emit(Op.POP)
+        code.emit(Op.PUSH, code.const("x"))
+        code.emit(Op.RETURN)
+        assert "LX101" in codes(verify_code(code))
+
+    def test_lx102_return_with_extra_values(self):
+        code = CodeObject("bad")
+        code.emit(Op.PUSH, code.const("a"))
+        code.emit(Op.PUSH, code.const("b"))
+        code.emit(Op.RETURN)
+        assert "LX102" in codes(verify_code(code))
+
+    def test_lx103_fall_off_the_end(self):
+        code = CodeObject("bad")
+        code.emit(Op.PUSH, code.const("a"))
+        assert "LX103" in codes(verify_code(code))
+
+    def test_lx104_jump_out_of_range(self):
+        code = CodeObject("bad")
+        code.emit(Op.JUMP, 99)
+        assert "LX104" in codes(verify_code(code))
+
+    def test_lx105_unreachable_instruction(self):
+        code = CodeObject("bad")
+        code.emit(Op.PUSH, code.const("a"))
+        code.emit(Op.RETURN)
+        code.emit(Op.PUSH, code.const("b"))
+        code.emit(Op.RETURN)
+        assert "LX105" in codes(verify_code(code))
+
+    def test_lx106_unknown_function(self):
+        code = CodeObject("bad")
+        code.emit(Op.PUSH, code.const("x"))
+        code.emit(Op.CALL, (code.const("no_such_fn"), 1))
+        code.emit(Op.RETURN)
+        assert "LX106" in codes(verify_code(code))
+
+    def test_lx106_bad_constant_index(self):
+        code = CodeObject("bad")
+        code.emit(Op.PUSH, 42)
+        code.emit(Op.RETURN)
+        assert "LX106" in codes(verify_code(code))
+
+    def test_lx107_scalar_into_count(self):
+        assert "LX107" in codes(verify_code(expr_code("count(upper(Name))")))
+
+    def test_lx107_not_raised_for_attr_ref(self):
+        # count(Name) compiles the argument to LOAD_ALL — genuinely a list.
+        assert verify_code(expr_code("count(Name)")) == []
+
+    def test_lx108_list_into_scalar_position(self):
+        diagnostics = verify_code(expr_code("upper(each Phones => value)"))
+        assert "LX108" in codes(diagnostics)
+
+    def test_each_bodies_verified_recursively(self):
+        code = expr_code("each Phones => value")
+        (body_index,) = [
+            ins.arg for ins in code.instructions if ins.op is Op.EACH_APPLY
+        ]
+        body = code.consts[body_index]
+        body.instructions.pop()  # strip the body's RETURN
+        assert "LX103" in codes(verify_code(code))
+
+    def test_mutated_rule_caught_through_analyze(self):
+        mapping = compile_mapping(
+            "mapping m { source a; target b; key Id -> Id; map X = Name; }"
+        )
+        rule = [r for r in mapping.rules if r.target == "X"][0]
+        rule.code.instructions.pop()  # strip RETURN
+        report = analyze(AnalysisTarget(mappings=[mapping]))
+        assert "LX103" in codes(report.errors)
+
+
+# -- pass 2: table / match rules --------------------------------------------------
+
+
+class TestRuleChecks:
+    def test_lx201_partial_table(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; }; }'
+        ))
+        assert "LX201" in codes(report.warnings)
+
+    def test_table_with_default_is_total(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; default => "0"; }; }'
+        ))
+        assert "LX201" not in codes(report.diagnostics)
+
+    def test_lx202_non_injective_table(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; "b" => "1"; default => "0"; }; }'
+        ))
+        assert "LX202" in codes(report.warnings)
+
+    def test_lx203_duplicate_table_key(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; "a" => "2"; default => "0"; }; }'
+        ))
+        assert "LX203" in codes(report.warnings)
+
+    def test_lx204_match_without_wildcard(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = match Name { /x/ => "y"; }; }'
+        ))
+        assert "LX204" in codes(report.infos)
+
+    def test_lx405_literal_hides_alternates(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = alt("always", Name); }'
+        ))
+        assert "LX405" in codes(report.warnings)
+
+    def test_alt_with_literal_last_is_fine(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = alt(Name, "fallback"); }'
+        ))
+        assert "LX405" not in codes(report.diagnostics)
+
+
+# -- pass 3: partitions -----------------------------------------------------------
+
+
+TWO_INSTANCES = """
+mapping ldap_to_west {{
+    source ldap; target dev;
+    key devId -> Id;
+    partition when {west};
+}}
+mapping ldap_to_east {{
+    source ldap; target dev;
+    key devId -> Id;
+    partition when {east};
+}}
+"""
+
+
+class TestPartitions:
+    def test_lx301_overlapping_prefixes(self):
+        report = analyze(target_for(TWO_INSTANCES.format(
+            west='prefix(Id, "4")', east='prefix(Id, "41")'
+        )))
+        overlaps = [d for d in report.errors if d.code == "LX301"]
+        assert overlaps and "41" in overlaps[0].message
+
+    def test_disjoint_prefixes_are_clean(self):
+        report = analyze(target_for(TWO_INSTANCES.format(
+            west='prefix(Id, "4")', east='prefix(Id, "5")'
+        )))
+        assert "LX301" not in codes(report.diagnostics)
+        assert "LX302" not in codes(report.diagnostics)
+
+    def test_lx301_trivially_true_constraints(self):
+        source = (
+            "mapping ldap_to_west { source ldap; target dev; key devId -> Id; }\n"
+            "mapping ldap_to_east { source ldap; target dev; key devId -> Id; }"
+        )
+        report = analyze(target_for(source))
+        assert "LX301" in codes(report.errors)
+
+    def test_lx302_coverage_gap(self):
+        report = analyze(target_for(
+            "mapping ldap_to_dev { source ldap; target dev;\n"
+            "    key devId -> Id;\n"
+            '    partition when prefix(Id, "41") and not prefix(Id, "415"); }'
+        ))
+        gaps = [d for d in report.warnings if d.code == "LX302"]
+        assert gaps and "415" in gaps[0].message
+
+    def test_lx303_unmapped_partition_dependency(self):
+        report = analyze(target_for(
+            "mapping ldap_to_dev { source ldap; target dev;\n"
+            "    key devId -> Id;\n"
+            "    partition when present(Ghost); }"
+        ))
+        assert "LX303" in codes(report.errors)
+
+    def test_constraints_without_constants_generate_no_probes(self):
+        report = analyze(target_for(TWO_INSTANCES.format(
+            west="present(Id)", east="present(Id)"
+        )))
+        # present() probing is inconclusive — not flagged either way.
+        assert "LX302" not in codes(report.diagnostics)
+
+
+# -- pass 4: closure graph --------------------------------------------------------
+
+
+class TestGraph:
+    def test_lx401_non_convergent_cycle(self):
+        source = (
+            'mapping a_to_b { source a; target b; key Id -> Id;\n'
+            '    map X = concat("x", Y); }\n'
+            "mapping b_to_a { source b; target a; key Id -> Id;\n"
+            "    map Y = X; }"
+        )
+        report = analyze(target_for(source, with_instances=False))
+        assert "LX401" in codes(report.errors)
+
+    def test_lx402_long_stable_cycle(self):
+        source = (
+            "mapping a_to_b { source a; target b; key Id -> Id; map X = W; }\n"
+            "mapping b_to_c { source b; target c; key Id -> Id; map Y = X; }\n"
+            "mapping c_to_a { source c; target a; key Id -> Id; map W = Y; }"
+        )
+        report = analyze(target_for(source, with_instances=False))
+        assert "LX402" in codes(report.infos)
+
+    def test_stable_pair_roundtrip_not_reported(self):
+        source = (
+            "mapping a_to_b { source a; target b; key Id -> Id; map X = Y; }\n"
+            "mapping b_to_a { source b; target a; key Id -> Id; map Y = X; }"
+        )
+        report = analyze(target_for(source, with_instances=False))
+        assert "LX402" not in codes(report.diagnostics)
+
+    def test_lx403_conflicting_constant_writers(self):
+        source = (
+            'mapping p_to_l { source p; target l; key Id -> Id;\n'
+            '    map flag = "p"; }\n'
+            'mapping q_to_l { source q; target l; key Id -> Id;\n'
+            '    map flag = "q"; }'
+        )
+        report = analyze(target_for(source, with_instances=False))
+        conflicts = [d for d in report.warnings if d.code == "LX403"]
+        assert conflicts and "flag" in conflicts[0].message
+
+    def test_commuting_writers_not_flagged(self):
+        # Both write l.x with the same value for the same record.
+        source = (
+            "mapping p_to_l { source p; target l; key Id -> Id; map X = Id; }\n"
+            "mapping l_to_p { source l; target p; key Id -> Id; }\n"
+            "mapping q_to_l { source q; target l; key Id -> Id; map X = Id; }\n"
+            "mapping l_to_q { source l; target q; key Id -> Id; }"
+        )
+        report = analyze(target_for(source, with_instances=False))
+        id_conflicts = [
+            d for d in report.diagnostics
+            if d.code == "LX403" and d.rule and d.rule.lower() == "x"
+        ]
+        assert id_conflicts == []
+
+    def test_lx404_dead_rule(self):
+        source = (
+            "mapping dev_to_ldap { source dev; target ldap; key Id -> Id;\n"
+            "    map X = Ghost; }\n"
+            "mapping ldap_to_dev { source ldap; target dev; key Id -> Id;\n"
+            "    map Known = X; }"
+        )
+        report = analyze(target_for(source, with_instances=False))
+        dead = [d for d in report.warnings if d.code == "LX404"]
+        assert dead and dead[0].rule == "X"
+
+    def test_lx404_quiet_when_source_schema_unknown(self):
+        # Nothing targets 'dev', so lexcheck cannot know what it holds.
+        source = (
+            "mapping dev_to_ldap { source dev; target ldap; key Id -> Id;\n"
+            "    map X = Ghost; }"
+        )
+        report = analyze(target_for(source, with_instances=False))
+        assert "LX404" not in codes(report.diagnostics)
+
+    def test_schema_attributes_make_deps_producible(self):
+        source = (
+            "mapping dev_to_ldap { source dev; target ldap; key Id -> Id;\n"
+            "    map X = Serial; }\n"
+            "mapping ldap_to_dev { source ldap; target dev; key Id -> Id; }"
+        )
+        mappings = list(compile_description(source).values())
+        without = analyze(AnalysisTarget(mappings=mappings))
+        assert "LX404" in codes(without.diagnostics)
+        with_schema = analyze(AnalysisTarget(
+            mappings=mappings,
+            schema_attributes={"dev": frozenset({"serial"})},
+        ))
+        assert "LX404" not in codes(with_schema.diagnostics)
+
+
+# -- suppressions -----------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_inline_suppression_moves_finding_to_suppressed(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; };'
+            '  # lexcheck: ignore[LX201]\n}'
+        ))
+        assert "LX201" not in codes(report.diagnostics)
+        assert "LX201" in codes(report.suppressed)
+
+    def test_suppression_on_line_above(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    # lexcheck: ignore[LX201]\n'
+            '    map X = table Kind { "a" => "1"; }; }'
+        ))
+        assert "LX201" in codes(report.suppressed)
+
+    def test_bare_ignore_suppresses_every_code(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; "a" => "2"; };'
+            '  # lexcheck: ignore\n}'
+        ))
+        assert codes(report.suppressed) >= {"LX201", "LX203"}
+        assert report.diagnostics == []
+
+    def test_unrelated_code_not_suppressed(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; };'
+            '  # lexcheck: ignore[LX999]\n}'
+        ))
+        assert "LX201" in codes(report.diagnostics)
+
+    def test_shipped_library_is_clean_with_two_suppressions(self):
+        from repro.schemas.mappings import standard_mappings
+
+        mappings = standard_mappings()
+        report = analyze(AnalysisTarget(mappings=list(mappings.values())))
+        assert report.diagnostics == []
+        assert codes(report.suppressed) == {"LX403", "LX404"}
+
+
+# -- reporters and the report object ----------------------------------------------
+
+
+class TestReporting:
+    def test_catalog_covers_every_emitted_code(self):
+        assert all(code.startswith("LX") for code in CATALOG)
+        assert {s for s, _ in CATALOG.values()} == set(Severity)
+
+    def test_sorted_errors_first(self):
+        report = analyze(target_for(
+            TWO_INSTANCES.format(west='prefix(Id, "4")', east='prefix(Id, "41")')
+            + 'mapping x_to_l { source x; target l; key Id -> Id;\n'
+            '    map X = match Name { /x/ => "y"; }; }'
+        ))
+        ranks = [d.severity.rank for d in report.diagnostics]
+        assert ranks == sorted(ranks)
+        assert report.diagnostics[0].severity is Severity.ERROR
+
+    def test_render_text_has_location_and_summary(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; }; }'
+        ))
+        text = render_text(report)
+        assert "m:2:13: LX201 warning:" in text
+        assert "lexcheck:" in text
+
+    def test_render_json_round_trips(self):
+        report = analyze(target_for(
+            'mapping m { source a; target b; key Id -> Id;\n'
+            '    map X = table Kind { "a" => "1"; }; }'
+        ))
+        document = json.loads(render_json(report))
+        assert document["ok"] is True  # warnings only
+        assert document["summary"]["warning"] >= 1
+        (finding,) = [
+            d for d in document["diagnostics"] if d["code"] == "LX201"
+        ]
+        assert finding["severity"] == "warning"
+        assert finding["mapping"] == "m"
+        assert finding["line"] == 2
+
+    def test_analyze_strict_raises_with_report(self):
+        target = target_for(
+            TWO_INSTANCES.format(west='prefix(Id, "4")', east='prefix(Id, "41")')
+        )
+        with pytest.raises(AnalysisError) as excinfo:
+            analyze_strict(target)
+        assert "LX301" in str(excinfo.value)
+        assert isinstance(excinfo.value.report, AnalysisReport)
+
+    def test_diagnostic_str_and_location(self):
+        diagnostic = Diagnostic(code="LX201", message="boom", mapping="m")
+        assert diagnostic.location() == "m"
+        assert "LX201 warning: boom" in str(diagnostic)
+
+
+# -- metrics export ---------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_diagnostics_counter_incremented(self):
+        registry = MetricsRegistry()
+        analyze(
+            target_for(
+                TWO_INSTANCES.format(
+                    west='prefix(Id, "4")', east='prefix(Id, "41")'
+                )
+            ),
+            registry=registry,
+        )
+        text = render_prometheus(registry)
+        assert 'metacomm_analysis_diagnostics_total{severity="error"} 1' in text
+
+
+# -- the MetaComm boot gate -------------------------------------------------------
+
+
+class TestStrictBoot:
+    def test_default_configuration_boots_strict(self):
+        from repro.core import MetaComm, MetaCommConfig
+
+        with MetaComm(MetaCommConfig(strict_analysis=True)) as system:
+            report = system.analyze()
+            assert report.ok
+            assert report.diagnostics == []
+
+    def test_overlapping_pbxes_refuse_to_boot(self):
+        from repro.core import MetaComm, MetaCommConfig, PbxConfig
+
+        with pytest.raises(AnalysisError) as excinfo:
+            MetaComm(MetaCommConfig(
+                pbxes=(PbxConfig("west", ("4",)), PbxConfig("east", ("41",))),
+                strict_analysis=True,
+            ))
+        assert any(d.code == "LX301" for d in excinfo.value.report.errors)
+
+    def test_non_strict_boot_still_reports_on_demand(self):
+        from repro.core import MetaComm, MetaCommConfig, PbxConfig
+
+        with MetaComm(MetaCommConfig(
+            pbxes=(PbxConfig("west", ("4",)), PbxConfig("east", ("41",))),
+        )) as system:
+            report = system.analyze()
+            assert any(d.code == "LX301" for d in report.errors)
+            with pytest.raises(AnalysisError):
+                system.analyze(strict=True)
+
+    def test_strict_boot_exports_metric(self):
+        from repro.core import MetaComm, MetaCommConfig
+
+        with MetaComm(MetaCommConfig(strict_analysis=True)) as system:
+            assert "metacomm_analysis_diagnostics_total" in system.metrics_text()

@@ -1,6 +1,30 @@
 """Tests for the ``python -m repro`` command-line entry point."""
 
+import json
+
+import pytest
+
 from repro.__main__ import main
+
+# A deliberately broken configuration: overlapping partitions (LX301),
+# a partial table (LX201), and a write-write conflict (LX403).
+BAD_DESCRIPTION = """
+mapping ldap_to_west {
+    source ldap;
+    target dev;
+    key devId -> Id;
+    map Kind = table userKind { "emp" => "1"; };
+    map Owner = "west";
+    partition when prefix(Id, "4");
+}
+mapping ldap_to_east {
+    source ldap;
+    target dev;
+    key devId -> Id;
+    map Owner = "east";
+    partition when prefix(Id, "41");
+}
+"""
 
 
 class TestCli:
@@ -51,3 +75,62 @@ class TestCli:
     def test_unknown_command_prints_usage(self, capsys):
         assert main(["bogus"]) == 2
         assert "Commands" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    @pytest.fixture
+    def bad_file(self, tmp_path):
+        path = tmp_path / "bad.lex"
+        path.write_text(BAD_DESCRIPTION)
+        return str(path)
+
+    def test_default_configuration_is_clean(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "2 suppressed" in out
+
+    def test_show_suppressed_lists_the_shipped_waivers(self, capsys):
+        assert main(["check", "--show-suppressed"]) == 0
+        out = capsys.readouterr().out
+        assert "LX403" in out and "LX404" in out
+        assert "[suppressed]" in out
+
+    def test_bad_fixture_fails_with_diagnostics(self, bad_file, capsys):
+        assert main(["check", bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "LX301" in out  # overlapping partitions
+        assert "LX201" in out  # partial table
+        assert "LX403" in out  # write-write conflict on Owner
+        assert "error" in out
+
+    def test_bad_fixture_json_is_parseable(self, bad_file, capsys):
+        assert main(["check", "--json", bad_file]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        found = {d["code"] for d in document["diagnostics"]}
+        assert {"LX301", "LX201", "LX403"} <= found
+
+    def test_fail_on_warning_promotes_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warn.lex"
+        path.write_text(
+            "mapping m { source a; target b; key Id -> Id;\n"
+            '    map X = table Kind { "a" => "1"; }; }'
+        )
+        assert main(["check", str(path)]) == 0  # warning only
+        capsys.readouterr()
+        assert main(["check", "--fail-on=warning", str(path)]) == 1
+
+    def test_unparseable_file_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.lex"
+        path.write_text("mapping { this is not lexpress")
+        assert main(["check", str(path)]) == 2
+        assert "broken.lex" in capsys.readouterr().err
+
+    def test_missing_file_is_exit_2(self, capsys):
+        assert main(["check", "/no/such/file.lex"]) == 2
+        capsys.readouterr()
+
+    def test_bad_option_is_exit_2(self, capsys):
+        assert main(["check", "--fail-on=bogus"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,198 @@
+"""Edge cases of the section-4.2 partition routing matrix.
+
+``route(old_sat, new_sat)`` decides the target-side operation from
+constraint satisfaction of the old and new images; these tests pin every
+cell of the matrix plus the awkward inputs around it — attributes missing
+from one side, multi-valued attributes feeding the constraint, and empty
+(but present) images.
+"""
+
+import pytest
+
+from repro.lexpress import (
+    PartitionConstraint,
+    TargetAction,
+    UpdateDescriptor,
+    UpdateOp,
+    compile_mapping,
+    route,
+)
+
+PARTITIONED = """
+mapping ldap_to_pbx {
+    source ldap;
+    target pbx;
+    key definityExtension -> Extension;
+
+    map Extension = definityExtension;
+    map Room = roomNumber;
+    partition when prefix(Extension, "4");
+}
+"""
+
+
+@pytest.fixture
+def mapping():
+    return compile_mapping(PARTITIONED)
+
+
+class TestRouteMatrix:
+    """The four cells of the decision matrix, straight from `route`."""
+
+    def test_add_when_only_new_satisfies(self):
+        assert route(False, True) is TargetAction.ADD
+
+    def test_modify_when_both_satisfy(self):
+        assert route(True, True) is TargetAction.MODIFY
+
+    def test_delete_when_only_old_satisfies(self):
+        assert route(True, False) is TargetAction.DELETE
+
+    def test_skip_when_neither_satisfies(self):
+        assert route(False, False) is TargetAction.SKIP
+
+
+class TestTranslateMatrix:
+    """The same four cells driven end-to-end through translate()."""
+
+    def test_migrated_in_is_add(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.MODIFY,
+            source="ldap",
+            key="k",
+            old={"definityExtension": ["5100"], "roomNumber": ["1A"]},
+            new={"definityExtension": ["4100"], "roomNumber": ["1A"]},
+        )
+        result = mapping.translate(update)
+        assert result.action is TargetAction.ADD
+        assert result.key == "4100"
+
+    def test_stayed_inside_is_modify(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.MODIFY,
+            source="ldap",
+            key="k",
+            old={"definityExtension": ["4100"], "roomNumber": ["1A"]},
+            new={"definityExtension": ["4100"], "roomNumber": ["2B"]},
+        )
+        result = mapping.translate(update)
+        assert result.action is TargetAction.MODIFY
+        assert result.changed == {"Room": ["2B"]}
+
+    def test_migrated_out_is_delete(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.MODIFY,
+            source="ldap",
+            key="k",
+            old={"definityExtension": ["4100"], "roomNumber": ["1A"]},
+            new={"definityExtension": ["5100"], "roomNumber": ["1A"]},
+        )
+        result = mapping.translate(update)
+        assert result.action is TargetAction.DELETE
+        # DELETE is keyed by the *old* image: the new one is not ours.
+        assert result.key == "4100"
+
+    def test_never_ours_is_skip(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.MODIFY,
+            source="ldap",
+            key="k",
+            old={"definityExtension": ["5100"], "roomNumber": ["1A"]},
+            new={"definityExtension": ["5100"], "roomNumber": ["2B"]},
+        )
+        assert mapping.translate(update).action is TargetAction.SKIP
+
+
+class TestMissingAttributes:
+    """Constraint attribute absent from one or both sides."""
+
+    def test_attribute_missing_from_old_image_is_add(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.MODIFY,
+            source="ldap",
+            key="k",
+            old={"roomNumber": ["1A"]},
+            new={"definityExtension": ["4100"], "roomNumber": ["1A"]},
+        )
+        assert mapping.translate(update).action is TargetAction.ADD
+
+    def test_attribute_missing_from_new_image_is_delete(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.MODIFY,
+            source="ldap",
+            key="k",
+            old={"definityExtension": ["4100"], "roomNumber": ["1A"]},
+            new={"roomNumber": ["1A"]},
+        )
+        assert mapping.translate(update).action is TargetAction.DELETE
+
+    def test_attribute_missing_from_both_is_skip(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.MODIFY,
+            source="ldap",
+            key="k",
+            old={"roomNumber": ["1A"]},
+            new={"roomNumber": ["2B"]},
+        )
+        assert mapping.translate(update).action is TargetAction.SKIP
+
+
+class TestMultiValuedAttributes:
+    """Scalar constraint evaluation sees the first value of a
+    multi-valued attribute (documented LOAD_ATTR semantics)."""
+
+    def test_first_value_decides_satisfaction(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.ADD,
+            source="ldap",
+            key="k",
+            new={"definityExtension": ["4100", "5100"]},
+        )
+        assert mapping.translate(update).action is TargetAction.ADD
+
+    def test_first_value_outside_partition_skips(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.ADD,
+            source="ldap",
+            key="k",
+            new={"definityExtension": ["5100", "4100"]},
+        )
+        assert mapping.translate(update).action is TargetAction.SKIP
+
+    def test_constraint_api_accepts_multi_valued_images(self):
+        constraint = PartitionConstraint.compile('prefix(Extension, "4")')
+        assert constraint.satisfied_by({"Extension": ["4100", "5100"]})
+        assert not constraint.satisfied_by({"Extension": ["5100", "4100"]})
+
+
+class TestEmptyImages:
+    """None means 'no record on that side'; {} means 'a record with no
+    attributes'.  Both violate a prefix constraint, but for different
+    reasons — and AlwaysTrue distinguishes them."""
+
+    def test_add_with_out_of_partition_new_is_skip(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.ADD, source="ldap", key="k", new={"definityExtension": ["5100"]}
+        )
+        assert mapping.translate(update).action is TargetAction.SKIP
+
+    def test_delete_of_in_partition_old_is_delete(self, mapping):
+        update = UpdateDescriptor(
+            op=UpdateOp.DELETE, source="ldap", key="k", old={"definityExtension": ["4100"]}
+        )
+        assert mapping.translate(update).action is TargetAction.DELETE
+
+    def test_empty_new_attrs_is_skip(self, mapping):
+        update = UpdateDescriptor(op=UpdateOp.ADD, source="ldap", key="k", new={})
+        assert mapping.translate(update).action is TargetAction.SKIP
+
+    def test_none_image_never_satisfies_any_constraint(self):
+        constraint = PartitionConstraint.compile('prefix(Extension, "4")')
+        assert not constraint.satisfied_by(None)
+
+    def test_empty_image_satisfies_always_true_but_none_does_not(self):
+        from repro.lexpress import AlwaysTrue
+
+        constraint = AlwaysTrue()
+        assert constraint.satisfied_by({})
+        assert not constraint.satisfied_by(None)
