@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test check bench-smoke bench bench-pipeline lint stats
+.PHONY: test check bench-smoke bench bench-pipeline bench-health lint stats monitor
 
 ## Tier-1: the full unit/integration suite (tests/ only).
 test:
@@ -21,6 +21,12 @@ bench-smoke:
 bench-pipeline:
 	$(PYTHON) -m pytest benchmarks/test_pipeline_throughput.py -m benchmarks -s -p no:cacheprovider
 
+## Health-plane overhead: pipeline throughput with the journal + health
+## board + background auditor on vs observability off; writes
+## BENCH_health.json and fails on > 5% regression.
+bench-health:
+	$(PYTHON) -m pytest benchmarks/test_health_overhead.py -m benchmarks -s -p no:cacheprovider
+
 ## Static checks (ruff config in pyproject.toml); skips when ruff is absent.
 lint:
 	@$(PYTHON) -m ruff --version >/dev/null 2>&1 \
@@ -34,3 +40,7 @@ bench:
 ## Run the demo workload and dump metrics + traces.
 stats:
 	$(PYTHON) -m repro stats
+
+## Run the demo workload and show the health-plane dashboard.
+monitor:
+	$(PYTHON) -m repro monitor

@@ -7,6 +7,8 @@ tree        build and print the paper's Figure-2 sample tree as LDIF
 mappings    show the standard telecom mapping library (source + disassembly)
 check       lexcheck — static analysis of the mapping configuration
 stats       run the demo workload, dump metrics (Prometheus text) + traces
+monitor     run the demo workload, show the health-plane dashboard
+events      run the demo workload, print the event journal
 experiments list the experiment harness and how to run it
 
 ``check`` usage::
@@ -19,6 +21,24 @@ mapping library plus its device bindings).  With files, compiles each
 lexpress description and analyzes them as one configuration.  Exit code
 is 1 when error-severity findings remain (or warnings, with
 ``--fail-on=warning``), 0 otherwise.
+
+``monitor`` usage::
+
+    python -m repro monitor [--json] [--watch] [--interval=0.5] [--cycles=N]
+
+One-shot by default: runs the demo workload, one full audit cycle, and
+prints queue staleness, per-device health, active alerts and the audit
+verdict.  ``--watch`` redraws every ``--interval`` seconds (``--cycles``
+bounds the redraws; Ctrl-C stops).  Exit code is 1 when any alert is
+active, 0 otherwise.
+
+``events`` usage::
+
+    python -m repro events [--json] [--follow] [--limit=N]
+
+Prints the event journal of the demo workload — text lines by default,
+JSONL with ``--json`` (pipe to a file for offline analysis).
+``--follow`` prints each event as it is emitted, while the workload runs.
 """
 
 from __future__ import annotations
@@ -163,13 +183,9 @@ def cmd_check(args: list[str]) -> int:
     return 1 if failed else 0
 
 
-def cmd_stats(args: list[str]) -> int:
-    """Run the demo workload and dump the pipeline's observability data.
-
-    Output is valid Prometheus text exposition format end to end: the
-    trace summaries are emitted as ``#``-prefixed comment lines, so the
-    whole thing can be piped straight into a scrape file.
-    """
+def _demo_system():
+    """The stats/monitor/events demo workload: one LDAP add (fan-out to
+    PBX + messaging) and one DDU (craft-terminal room change)."""
     from repro.core import MetaComm, MetaCommConfig
     from repro.schemas import PERSON_CLASSES
 
@@ -185,13 +201,196 @@ def cmd_stats(args: list[str]) -> int:
         },
     )
     system.terminal().execute("change station 4100 room 2B-110")
+    return system
+
+
+def cmd_stats(args: list[str]) -> int:
+    """Run the demo workload and dump the pipeline's observability data.
+
+    Output is valid Prometheus text exposition format end to end: the
+    trace summaries are emitted as ``#``-prefixed comment lines, so the
+    whole thing can be piped straight into a scrape file.
+    """
+    system = _demo_system()
+    # Flush before dumping: close any trace still open (so the export
+    # never shows dangling in-flight spans) and release the background
+    # machinery — the workload is done, the dump must be self-consistent.
+    system.close()
+    system.obs.tracer.finish_open()
 
     for trace in system.traces():
         spans = ", ".join(
             f"{span.name}={span.duration * 1e6:.0f}us" for span in trace.spans
         )
-        print(f"# trace: {trace.trace_id} ({trace.name}): {spans}")
+        total = (
+            f"total={trace.duration * 1e6:.0f}us"
+            if trace.duration is not None
+            else "open"
+        )
+        print(f"# trace: {trace.trace_id} ({trace.name}): {spans} [{total}]")
     print(system.metrics_text(), end="")
+    return 0
+
+
+def _render_monitor(snapshot: dict) -> str:
+    """The `monitor` text dashboard for one health-plane snapshot."""
+    lines: list[str] = []
+    queue = snapshot["queue"]
+    lines.append(
+        f"queue: depth={queue['depth']} "
+        f"oldest_age={queue['oldest_age'] * 1000:.1f}ms "
+        f"last_serial={queue['last_serial']}"
+    )
+    devices = snapshot["devices"]
+    if devices:
+        lines.append(
+            f"{'device':<12} {'state':<12} {'ok/err':<8} {'streak':<7} "
+            f"{'err_rate':<9} {'p50':>9} {'p95':>9} {'p99':>9} {'lag':>4}"
+        )
+        for name in sorted(devices):
+            d = devices[name]
+            latency = d["latency"]
+            lag = snapshot.get("audit") or {}
+            lines.append(
+                f"{name:<12} {d['state']:<12} "
+                f"{d['successes']}/{d['failures']:<6} {d['streak']:<7} "
+                f"{d['error_rate']:<9.2f} "
+                f"{latency['p50'] * 1e6:>7.0f}us "
+                f"{latency['p95'] * 1e6:>7.0f}us "
+                f"{latency['p99'] * 1e6:>7.0f}us "
+                f"{lag.get('device_lag', {}).get(name, 0):>4}"
+            )
+    else:
+        lines.append("devices: none observed yet")
+    audit = snapshot.get("audit")
+    if audit is not None:
+        verdict = "ok" if audit["ok"] else "MISMATCH"
+        lines.append(
+            f"audit: cycle={audit['cycle']} probed={len(audit['probed'])} "
+            f"mismatches={sum(len(v) for v in audit['mismatches'].values())} "
+            f"[{verdict}]"
+        )
+        for device, problems in sorted(audit["mismatches"].items()):
+            for problem in problems:
+                lines.append(f"  ! {problem}")
+    alerts = snapshot["alerts"]
+    if alerts:
+        lines.append(f"alerts: {len(alerts)} active")
+        for alert in alerts:
+            labels = " ".join(f"{k}={v}" for k, v in alert["labels"].items())
+            lines.append(
+                f"  ALERT {alert['rule']} ({alert['expr']}) "
+                f"value={alert['value']} {labels}".rstrip()
+            )
+    else:
+        lines.append("alerts: none")
+    lines.append(f"journal: {snapshot['journal_events']} events retained")
+    return "\n".join(lines)
+
+
+def cmd_monitor(args: list[str]) -> int:
+    """The health-plane dashboard over the demo workload."""
+    import json
+    import time as _time
+
+    as_json = False
+    watch = False
+    interval = 0.5
+    cycles: int | None = None
+    for arg in args:
+        if arg == "--json":
+            as_json = True
+        elif arg == "--watch":
+            watch = True
+        elif arg.startswith("--interval="):
+            interval = float(arg.split("=", 1)[1])
+        elif arg.startswith("--cycles="):
+            cycles = int(arg.split("=", 1)[1])
+        else:
+            print(f"monitor: unknown option {arg!r}", file=sys.stderr)
+            return 2
+
+    system = _demo_system()
+    try:
+        remaining = cycles if cycles is not None else (1 if not watch else None)
+        ran = 0
+        while True:
+            system.auditor.run_cycle(full=True)
+            snapshot = system.monitor_snapshot()
+            if as_json:
+                print(json.dumps(snapshot, sort_keys=True, default=str))
+            else:
+                if watch and ran:
+                    print()
+                print(_render_monitor(snapshot))
+            ran += 1
+            if remaining is not None and ran >= remaining:
+                break
+            try:
+                _time.sleep(interval)
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                break
+        return 1 if system.alerts.active() else 0
+    finally:
+        system.close()
+
+
+def cmd_events(args: list[str]) -> int:
+    """Print the demo workload's event journal (text or JSONL)."""
+    as_json = False
+    follow = False
+    limit: int | None = None
+    for arg in args:
+        if arg == "--json":
+            as_json = True
+        elif arg == "--follow":
+            follow = True
+        elif arg.startswith("--limit="):
+            limit = int(arg.split("=", 1)[1])
+        else:
+            print(f"events: unknown option {arg!r}", file=sys.stderr)
+            return 2
+
+    def render(event) -> str:
+        if as_json:
+            return event.to_json()
+        attrs = " ".join(f"{k}={v}" for k, v in event.attributes.items())
+        trace = f" [{event.trace_id}]" if event.trace_id else ""
+        return f"#{event.seq} {event.kind}{trace} {attrs}".rstrip()
+
+    if follow:
+        # Stream mode: print each event as the workload emits it.  The
+        # journal listener fires synchronously after each append, so the
+        # stream is in order and complete.
+        from repro.core import MetaComm, MetaCommConfig
+
+        system = MetaComm(MetaCommConfig(organizations=("Marketing",)))
+        system.obs.journal.subscribe(lambda event: print(render(event)))
+        conn = system.connection()
+        from repro.schemas import PERSON_CLASSES
+
+        conn.add(
+            "cn=John Doe,o=Marketing,o=Lucent",
+            {
+                "objectClass": list(PERSON_CLASSES),
+                "cn": "John Doe",
+                "sn": "Doe",
+                "definityExtension": "4100",
+            },
+        )
+        system.terminal().execute("change station 4100 room 2B-110")
+        system.auditor.run_cycle(full=True)
+        system.close()
+        return 0
+
+    system = _demo_system()
+    system.auditor.run_cycle(full=True)
+    system.close()
+    events = system.obs.journal.events()
+    if limit is not None:
+        events = events[-limit:]
+    for event in events:
+        print(render(event))
     return 0
 
 
@@ -213,6 +412,8 @@ COMMANDS = {
     "mappings": cmd_mappings,
     "check": cmd_check,
     "stats": cmd_stats,
+    "monitor": cmd_monitor,
+    "events": cmd_events,
     "experiments": cmd_experiments,
 }
 

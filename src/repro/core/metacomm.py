@@ -28,7 +28,13 @@ from ..ldap.entry import Entry
 from ..ldap.server import LdapServer
 from ..lexpress.partition import PartitionConstraint
 from ..ltap.gateway import LtapGateway
-from ..obs import Observability, Trace
+from ..obs import (
+    AlertEngine,
+    ConsistencyAuditor,
+    Observability,
+    Trace,
+    default_rules,
+)
 from ..schemas.integrated import build_integrated_schema
 from ..schemas.mappings import DEFAULT_PHONE_PREFIX, standard_mappings
 from .errorlog import ErrorLog
@@ -71,6 +77,13 @@ class MetaCommConfig:
     observability: bool = True
     #: How many recent update traces the ring buffer retains.
     trace_capacity: int = 256
+    #: How many lifecycle events the journal's bounded ring retains.
+    journal_capacity: int = 1024
+    #: Cadence (seconds) of the background consistency auditor when
+    #: started via ``system.auditor.start()``.  The auditor never runs
+    #: unless started — tests and the `monitor` CLI drive cycles
+    #: explicitly.
+    audit_interval: float = 0.5
     #: Worker threads for the update pipeline's device fan-out stage.
     #: 1 (default) preserves the paper's serial device order; >1 applies
     #: the planned per-device updates concurrently (the repositories are
@@ -92,12 +105,14 @@ class MetaComm:
         self.config = config or MetaCommConfig()
         suffix = DN.parse(self.config.suffix)
 
-        #: This system's metrics registry + trace ring buffer.  Every
-        #: component below reports here, so one scrape (``metrics_text``)
-        #: or one trace query covers the whole Figure-1 pipeline.
+        #: This system's health plane: metrics registry, trace ring
+        #: buffer, event journal and device-health board.  Every component
+        #: below reports here, so one scrape (``metrics_text``), one trace
+        #: query or one journal read covers the whole Figure-1 pipeline.
         self.obs = Observability(
             enabled=self.config.observability,
             trace_capacity=self.config.trace_capacity,
+            journal_capacity=self.config.journal_capacity,
         )
         self.schema = build_integrated_schema()
         self.server = LdapServer(
@@ -178,9 +193,29 @@ class MetaComm:
             registry=self.obs.registry,
             tracer=self.obs.tracer,
             fanout_workers=self.config.fanout_workers,
+            journal=self.obs.journal,
+            health=self.obs.health,
         )
         self.sync = Synchronizer(self.um)
         self.suffix = suffix
+
+        # Device-link telemetry: every raw device write (fan-out, DDU,
+        # sync push) feeds the health board's latency reservoir.
+        for binding in bindings:
+            device = binding.filter.device
+            device.op_observer = self.obs.health.link_observer(binding.name)
+
+        #: Declarative alert rules over this system's registry, evaluated
+        #: on the auditor's clock (docs/OBSERVABILITY.md for the syntax).
+        self.alerts = AlertEngine(
+            self.obs.registry,
+            journal=self.obs.journal,
+            rules=default_rules(),
+        )
+        #: The background consistency auditor (not started by default).
+        self.auditor = ConsistencyAuditor(
+            self, interval=self.config.audit_interval
+        )
 
         # Equality indexes on the hot lookup paths: entry location by
         # device key and the person-class searches of every fan-out.
@@ -219,7 +254,9 @@ class MetaComm:
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release background resources (coordinator thread, fan-out pool)."""
+        """Release background resources (auditor thread, coordinator
+        thread, fan-out pool)."""
+        self.auditor.stop()
         self.um.close()
 
     def __enter__(self) -> "MetaComm":
@@ -310,50 +347,77 @@ class MetaComm:
         """Human-readable list of device↔directory disagreements."""
         problems: list[str] = []
         for binding in self.um.bindings:
-            key_attr = binding.to_ldap.key_target
-            device_keys = set()
-            for record in binding.filter.dump():
-                image = binding.to_ldap.image(record) or {}
-                ldap_key = binding.to_ldap.key_of(image)
-                if ldap_key is None:
-                    continue
-                device_keys.add(ldap_key.lower())
-                entry = self.um.ldap_filter.locate(key_attr, ldap_key)
-                if entry is None:
-                    problems.append(
-                        f"{binding.name}: record {ldap_key} missing from directory"
-                    )
-                    continue
-                for name, values in image.items():
-                    if name.lower() == "lastupdater":
-                        continue  # bookkeeping, not user data
-                    have = entry.get(name)
-                    # The directory may carry extra values (e.g. an RDN
-                    # disambiguator on cn); the device's view must be a
-                    # subset of the directory's.
-                    if not set(values) <= set(have):
-                        problems.append(
-                            f"{binding.name}: {ldap_key}: {name} device={values} "
-                            f"directory={have}"
-                        )
-            for entry in self.um.ldap_filter.person_entries():
-                values = entry.get(key_attr) if key_attr else []
-                if not values:
-                    continue
-                if values[0].lower() not in device_keys:
-                    # Only a problem when the entry claims data this device
-                    # should hold (partition check).
-                    device_image = binding.from_ldap.image(
-                        entry.attributes.to_dict()
-                    )
-                    in_partition = binding.partition is None or (
-                        binding.partition.satisfied_by(device_image)
-                    )
-                    if in_partition and binding.from_ldap.partition.satisfied_by(
-                        device_image
-                    ):
-                        problems.append(
-                            f"{binding.name}: directory entry {entry.dn} claims "
-                            f"{key_attr}={values[0]} unknown to the device"
-                        )
+            problems.extend(self.binding_inconsistencies(binding))
         return problems
+
+    def binding_inconsistencies(self, binding: DeviceBinding) -> list[str]:
+        """One device binding's slice of :meth:`inconsistencies`.
+
+        This is the consistency auditor's probe unit: sampling one binding
+        per cycle keeps the audit low-rate while covering the whole
+        deployment round-robin."""
+        problems: list[str] = []
+        key_attr = binding.to_ldap.key_target
+        device_keys = set()
+        for record in binding.filter.dump():
+            image = binding.to_ldap.image(record) or {}
+            ldap_key = binding.to_ldap.key_of(image)
+            if ldap_key is None:
+                continue
+            device_keys.add(ldap_key.lower())
+            entry = self.um.ldap_filter.locate(key_attr, ldap_key)
+            if entry is None:
+                problems.append(
+                    f"{binding.name}: record {ldap_key} missing from directory"
+                )
+                continue
+            for name, values in image.items():
+                if name.lower() == "lastupdater":
+                    continue  # bookkeeping, not user data
+                have = entry.get(name)
+                # The directory may carry extra values (e.g. an RDN
+                # disambiguator on cn); the device's view must be a
+                # subset of the directory's.
+                if not set(values) <= set(have):
+                    problems.append(
+                        f"{binding.name}: {ldap_key}: {name} device={values} "
+                        f"directory={have}"
+                    )
+        for entry in self.um.ldap_filter.person_entries():
+            values = entry.get(key_attr) if key_attr else []
+            if not values:
+                continue
+            if values[0].lower() not in device_keys:
+                # Only a problem when the entry claims data this device
+                # should hold (partition check).
+                device_image = binding.from_ldap.image(
+                    entry.attributes.to_dict()
+                )
+                in_partition = binding.partition is None or (
+                    binding.partition.satisfied_by(device_image)
+                )
+                if in_partition and binding.from_ldap.partition.satisfied_by(
+                    device_image
+                ):
+                    problems.append(
+                        f"{binding.name}: directory entry {entry.dn} claims "
+                        f"{key_attr}={values[0]} unknown to the device"
+                    )
+        return problems
+
+    def monitor_snapshot(self) -> dict:
+        """One consolidated health-plane view (the `monitor` CLI's data):
+        queue staleness, device health, audit verdict, active alerts."""
+        queue = self.um.queue
+        report = self.auditor.last_report
+        return {
+            "queue": {
+                "depth": len(queue),
+                "oldest_age": queue.oldest_age(),
+                "last_serial": queue.last_serial,
+            },
+            "devices": self.obs.health.snapshot(),
+            "audit": report.to_dict() if report is not None else None,
+            "alerts": [alert.to_dict() for alert in self.alerts.active()],
+            "journal_events": len(self.obs.journal),
+        }

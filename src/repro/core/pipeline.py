@@ -69,6 +69,15 @@ from ..lexpress.descriptor import (
     UpdateOp,
 )
 from ..ltap.triggers import TriggerEvent
+from ..obs.events import (
+    DEVICE_ATTEMPT,
+    DEVICE_COMMIT,
+    DEVICE_FAILURE,
+    DEVICE_ROLLBACK,
+    SEQUENCE_ABORTED,
+    SUPPLEMENTAL_WRITE,
+    UPDATE_PLANNED,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Trace, trace_span
 from .errorlog import ErrorLog
@@ -237,6 +246,8 @@ class UpdateSequencePipeline:
         registry: MetricsRegistry | None = None,
         fanout_workers: int = 1,
         compensate: Callable[[list, Trace | None], None] | None = None,
+        journal=None,
+        health=None,
     ):
         self.bindings = list(bindings)
         self.closure = closure
@@ -244,6 +255,10 @@ class UpdateSequencePipeline:
         self.error_log = error_log
         self.policy = policy if policy is not None else FailurePolicy()
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Health-plane hooks (both optional): the event journal receives
+        #: lifecycle events, the health board the per-device outcome feed.
+        self.journal = journal
+        self.health = health
         if fanout_workers < 1:
             raise ValueError("fanout_workers must be >= 1")
         self._fanout_workers = fanout_workers
@@ -406,6 +421,15 @@ class UpdateSequencePipeline:
             info["devices"] = len(plan.device_plans)
             if span is not None:
                 span.attributes["devices"] = len(plan.device_plans)
+        if self.journal is not None:
+            self.journal.emit(
+                UPDATE_PLANNED,
+                trace=trace,
+                serial=serial,
+                op=descriptor.op.value,
+                key=descriptor.key,
+                devices=[p.binding.name for p in plan.device_plans],
+            )
         return plan
 
     def plan_device_update(
@@ -473,9 +497,13 @@ class UpdateSequencePipeline:
             devices=len(plan.device_plans),
         ):
             if self.parallel and len(plan.device_plans) > 1:
-                outcomes = self._fanout_parallel(plan.device_plans, trace)
+                outcomes = self._fanout_parallel(
+                    plan.device_plans, trace, serial
+                )
             else:
-                outcomes = self._fanout_serial(plan.device_plans, trace)
+                outcomes = self._fanout_serial(
+                    plan.device_plans, trace, serial
+                )
             outcome.outcomes = outcomes
             self._raise_unexpected(outcomes)
             self._apply_failure_policy(outcome, trace)
@@ -507,18 +535,26 @@ class UpdateSequencePipeline:
                 if wrote:
                     self.supplemental_total.inc()
                     outcome.supplemental_written = True
+                    if self.journal is not None:
+                        self.journal.emit(
+                            SUPPLEMENTAL_WRITE,
+                            trace=trace,
+                            serial=serial,
+                            key=descriptor.key,
+                            attributes_written=len(supplement),
+                        )
         return outcome
 
     # -- fan-out executors ---------------------------------------------------------
 
     def _fanout_serial(
-        self, plans: list[DevicePlan], trace: Trace | None
+        self, plans: list[DevicePlan], trace: Trace | None, serial: int = 0
     ) -> list[DeviceOutcome]:
         """The paper's discipline: one device at a time, in binding order,
         stopping at the first failure when the policy says abort."""
         outcomes = [DeviceOutcome(plan=plan) for plan in plans]
         for i, plan in enumerate(plans):
-            outcomes[i] = self._apply_one(plan, trace)
+            outcomes[i] = self._apply_one(plan, trace, serial)
             if outcomes[i].unexpected is not None:
                 raise outcomes[i].unexpected
             if outcomes[i].error is not None and self.policy.abort_on_failure:
@@ -526,20 +562,41 @@ class UpdateSequencePipeline:
         return outcomes
 
     def _fanout_parallel(
-        self, plans: list[DevicePlan], trace: Trace | None
+        self, plans: list[DevicePlan], trace: Trace | None, serial: int = 0
     ) -> list[DeviceOutcome]:
         """Concurrent fan-out: every plan is applied on the worker pool and
         the stage joins all of them (the barrier) before any policy runs.
         Optimistic with respect to failures — a commit past an abort point
         is undone afterwards by :meth:`_rollback_past_abort`."""
         pool = self._executor()
-        futures = [pool.submit(self._apply_one, plan, trace) for plan in plans]
+        futures = [
+            pool.submit(self._apply_one, plan, trace, serial)
+            for plan in plans
+        ]
         return [future.result() for future in futures]
 
-    def _apply_one(self, plan: DevicePlan, trace: Trace | None) -> DeviceOutcome:
-        """Apply one planned update at its repository (worker body)."""
+    def _apply_one(
+        self, plan: DevicePlan, trace: Trace | None, serial: int = 0
+    ) -> DeviceOutcome:
+        """Apply one planned update at its repository (worker body).
+
+        Also the health plane's **outcome feed**: every attempt emits a
+        ``device.attempt`` then a ``device.commit``/``device.failure``
+        journal event, and the timed outcome lands on the health board
+        (which owns the error window, streak and derived state)."""
         outcome = DeviceOutcome(plan=plan, executed=True)
         binding, update = plan.binding, plan.update
+        if self.journal is not None:
+            self.journal.emit(
+                DEVICE_ATTEMPT,
+                trace=trace,
+                serial=serial,
+                device=binding.name,
+                action=update.action.value,
+                key=update.key,
+                conditional=update.conditional,
+            )
+        started = time.perf_counter()
         with self.parallelism.track():
             with trace_span(
                 trace,
@@ -553,11 +610,14 @@ class UpdateSequencePipeline:
                     if span is not None:
                         span.attributes["error"] = exc.message
                     outcome.error = exc
+                    self._note_outcome(outcome, trace, serial, started)
                     return outcome
                 except Exception as exc:  # re-raised after the barrier
                     outcome.unexpected = exc
+                    self._note_outcome(outcome, trace, serial, started)
                     return outcome
             outcome.result = result
+            self._note_outcome(outcome, trace, serial, started)
             if update.key is not None and (
                 update.action is TargetAction.ADD or result.recovered
             ):
@@ -570,6 +630,48 @@ class UpdateSequencePipeline:
                     binding, update.key, result.generated
                 )
             return outcome
+
+    def _note_outcome(
+        self,
+        outcome: DeviceOutcome,
+        trace: Trace | None,
+        serial: int,
+        started: float,
+    ) -> None:
+        """Publish one apply outcome to the journal and the health board."""
+        elapsed = time.perf_counter() - started
+        name = outcome.plan.binding.name
+        ok = outcome.applied
+        if self.journal is not None:
+            if ok:
+                self.journal.emit(
+                    DEVICE_COMMIT,
+                    trace=trace,
+                    serial=serial,
+                    device=name,
+                    key=outcome.plan.update.key,
+                    duration=round(elapsed, 6),
+                )
+            else:
+                error = outcome.error
+                message = (
+                    error.message
+                    if error is not None
+                    else str(outcome.unexpected)
+                )
+                self.journal.emit(
+                    DEVICE_FAILURE,
+                    trace=trace,
+                    serial=serial,
+                    device=name,
+                    key=outcome.plan.update.key,
+                    error=message,
+                    duration=round(elapsed, 6),
+                )
+        if self.health is not None:
+            self.health.record_outcome(name, elapsed, ok)
+            if ok and serial:
+                self.health.note_applied(name, serial)
 
     def _count_applied(self, outcome: SequenceOutcome) -> None:
         """Account the fan-out counters once the sequence's fate is known.
@@ -627,6 +729,14 @@ class UpdateSequencePipeline:
             if self.policy.abort_on_failure:
                 outcome.aborted = True
                 outcome.abort_index = plan.index
+                if self.journal is not None:
+                    self.journal.emit(
+                        SEQUENCE_ABORTED,
+                        trace=trace,
+                        serial=outcome.plan.serial,
+                        device=plan.binding.name,
+                        error=exc.message,
+                    )
                 break
 
     def _rollback_past_abort(
@@ -656,6 +766,14 @@ class UpdateSequencePipeline:
                 device_outcome.rolled_back = True
                 outcome.rolled_back.append(plan.binding.name)
                 self.rolled_back_total.labels(device=plan.binding.name).inc()
+                if self.journal is not None:
+                    self.journal.emit(
+                        DEVICE_ROLLBACK,
+                        trace=trace,
+                        serial=outcome.plan.serial,
+                        device=plan.binding.name,
+                        key=plan.update.key,
+                    )
             except Exception as exc:  # rollback is best-effort
                 self.error_log.record(
                     target=plan.binding.name,

@@ -10,7 +10,10 @@ The queue is a plain FIFO with a serial number per item — the serial *is*
 the system-wide serialization order that makes the reapplication technique
 converge.  Items are stamped with their enqueue time so the dequeue path
 can feed the enqueue→dequeue latency histogram (queue lag is the paper's
-"converge after some delay", made measurable).
+"converge after some delay", made measurable), and the consistency auditor
+publishes how long the oldest unclaimed item has waited
+(``metacomm_queue_oldest_age_seconds`` — the staleness-window gauge the
+no-quiesce sync work will report through).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..lexpress.descriptor import UpdateDescriptor
+from ..obs.events import UPDATE_ACCEPTED, UPDATE_CLAIMED
 from ..obs.metrics import MetricsRegistry
 from ..obs.views import StatsView
 
@@ -39,10 +43,16 @@ class QueuedUpdate:
 class GlobalUpdateQueue:
     """FIFO of update descriptors with a global serialization order."""
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        journal=None,
+    ) -> None:
         self._items: deque[QueuedUpdate] = deque()
         self._serials = itertools.count(1)
+        self._last_serial = 0
         self._lock = threading.Lock()
+        self.journal = journal
         registry = registry if registry is not None else MetricsRegistry()
         self._enqueued = registry.counter(
             "metacomm_queue_enqueued_total",
@@ -56,6 +66,11 @@ class GlobalUpdateQueue:
             "metacomm_queue_depth",
             "Update descriptors currently waiting in the global queue",
         )
+        self._oldest_age = registry.gauge(
+            "metacomm_queue_oldest_age_seconds",
+            "How long the oldest unclaimed update has waited "
+            "(refreshed on queue transitions and each audit cycle)",
+        )
         self._wait = registry.histogram(
             "metacomm_queue_wait_seconds",
             "Enqueue-to-dequeue latency of the global queue",
@@ -67,17 +82,37 @@ class GlobalUpdateQueue:
             }
         )
 
-    def enqueue(self, descriptor: UpdateDescriptor) -> QueuedUpdate:
+    def _emit(self, kind: str, item: QueuedUpdate, trace) -> None:
+        if self.journal is None:
+            return
+        descriptor = item.descriptor
+        op = getattr(descriptor, "op", None)
+        self.journal.emit(
+            kind,
+            trace=trace,
+            serial=item.serial,
+            op=getattr(op, "value", op),
+            key=getattr(descriptor, "key", None),
+        )
+
+    def enqueue(
+        self, descriptor: UpdateDescriptor, trace=None
+    ) -> QueuedUpdate:
         item = QueuedUpdate(
             next(self._serials), descriptor, time.perf_counter()
         )
         with self._lock:
             self._items.append(item)
+            self._last_serial = item.serial
             self._enqueued.inc()
             self._depth.set(len(self._items))
+        self.refresh_staleness()
+        self._emit(UPDATE_ACCEPTED, item, trace)
         return item
 
-    def claim(self, descriptor: UpdateDescriptor) -> QueuedUpdate:
+    def claim(
+        self, descriptor: UpdateDescriptor, trace=None
+    ) -> QueuedUpdate:
         """Atomically enqueue-and-dequeue one descriptor for its caller.
 
         The threaded coordinator hand-off needs the serialization order
@@ -90,12 +125,15 @@ class GlobalUpdateQueue:
         now = time.perf_counter()
         with self._lock:
             item = QueuedUpdate(next(self._serials), descriptor, now)
+            self._last_serial = item.serial
             self._enqueued.inc()
             self._processed.inc()
         self._wait.observe(time.perf_counter() - now)
+        self._emit(UPDATE_ACCEPTED, item, trace)
+        self._emit(UPDATE_CLAIMED, item, trace)
         return item
 
-    def dequeue(self) -> QueuedUpdate | None:
+    def dequeue(self, trace=None) -> QueuedUpdate | None:
         with self._lock:
             if not self._items:
                 return None
@@ -104,6 +142,8 @@ class GlobalUpdateQueue:
             self._depth.set(len(self._items))
         if item.enqueued_at:
             self._wait.observe(time.perf_counter() - item.enqueued_at)
+        self.refresh_staleness()
+        self._emit(UPDATE_CLAIMED, item, trace)
         return item
 
     def __len__(self) -> int:
@@ -113,3 +153,26 @@ class GlobalUpdateQueue:
     def peek_serial(self) -> int | None:
         with self._lock:
             return self._items[0].serial if self._items else None
+
+    @property
+    def last_serial(self) -> int:
+        """The highest serial issued so far (the serialization head)."""
+        with self._lock:
+            return self._last_serial
+
+    def oldest_age(self) -> float:
+        """Seconds the oldest unclaimed update has waited (0.0 if empty)."""
+        with self._lock:
+            if not self._items or not self._items[0].enqueued_at:
+                return 0.0
+            return time.perf_counter() - self._items[0].enqueued_at
+
+    def refresh_staleness(self) -> float:
+        """Recompute and publish the oldest-age gauge; returns the age.
+
+        Age is a function of *now*, so unlike depth it cannot be kept
+        current purely on queue transitions — the auditor calls this each
+        cycle (and tests call it directly)."""
+        age = self.oldest_age()
+        self._oldest_age.set(age)
+        return age

@@ -29,8 +29,12 @@ from ..lexpress.descriptor import (
     UpdateDescriptor,
     UpdateOp,
 )
+from ..obs.events import SYNC_PROGRESS
 from .filters.base import FilterError
 from .update_manager import DeviceBinding, UpdateManager
+
+#: One ``sync.progress`` batch event per this many examined records.
+PROGRESS_EVERY = 25
 
 
 @dataclass
@@ -64,6 +68,26 @@ class Synchronizer:
     def __init__(self, um: UpdateManager):
         self.um = um
 
+    def _progress(self, report: SyncReport, phase: str) -> None:
+        """One ``sync.progress`` journal event (no-op without a journal)."""
+        journal = getattr(self.um, "journal", None)
+        if journal is None:
+            return
+        journal.emit(
+            SYNC_PROGRESS,
+            device=report.device,
+            direction=report.direction,
+            phase=phase,
+            examined=report.examined,
+            applied=report.applied,
+            skipped=report.skipped,
+            errors=len(report.errors),
+        )
+
+    def _batch_progress(self, report: SyncReport) -> None:
+        if report.examined and report.examined % PROGRESS_EVERY == 0:
+            self._progress(report, "batch")
+
     # -- device-authoritative ---------------------------------------------------
 
     def synchronize(self, device_name: str) -> SyncReport:
@@ -71,10 +95,12 @@ class Synchronizer:
         binding = self.um.binding(device_name)
         report = SyncReport(device_name, "from-device")
         session = Session()
+        self._progress(report, "start")
         with self.um.gateway.quiesce(session):
             with self.um.connections.open(persistent=True) as connection:
                 device_keys = self._sync_records_in(binding, report, session, connection)
                 self._cleanup_directory(binding, device_keys, report, session, connection)
+        self._progress(report, "end")
         return report
 
     def _sync_records_in(
@@ -85,6 +111,7 @@ class Synchronizer:
         seen: set[str] = set()
         for record in binding.filter.dump():
             report.examined += 1
+            self._batch_progress(report)
             image = binding.to_ldap.image(record) or {}
             ldap_key = binding.to_ldap.key_of(image)
             if ldap_key is not None:
@@ -205,8 +232,10 @@ class Synchronizer:
         binding = self.um.binding(device_name)
         report = SyncReport(device_name, "to-device")
         directory_keys: set[str] = set()
+        self._progress(report, "start")
         for entry in self.um.ldap_filter.person_entries():
             report.examined += 1
+            self._batch_progress(report)
             attrs = entry.attributes.to_dict()
             descriptor = UpdateDescriptor(
                 UpdateOp.ADD, "ldap", str(entry.dn), new=attrs
@@ -259,6 +288,7 @@ class Synchronizer:
                     report.deleted += 1
                 except Exception as exc:  # pragma: no cover - defensive
                     report.errors.append(str(exc))
+        self._progress(report, "end")
         return report
 
     # -- helpers -------------------------------------------------------------------------

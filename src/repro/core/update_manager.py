@@ -45,6 +45,7 @@ from ..lexpress.partition import PartitionConstraint
 from ..ltap.connection import ConnectionManager
 from ..ltap.gateway import LtapGateway
 from ..ltap.triggers import Trigger, TriggerEvent
+from ..obs.events import DDU_RECEIVED, SAGA_COMPENSATED
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import OBS_TRACE, Tracer, trace_span
 from ..obs.views import StatsView
@@ -85,6 +86,8 @@ class UpdateManager:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         fanout_workers: int = 1,
+        journal=None,
+        health=None,
     ):
         self.server = server
         self.gateway = gateway
@@ -93,7 +96,11 @@ class UpdateManager:
         self.error_log = error_log
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
-        self.queue = GlobalUpdateQueue(registry=self.registry)
+        self.journal = journal
+        self.health = health
+        self.queue = GlobalUpdateQueue(
+            registry=self.registry, journal=journal
+        )
         self.connections = ConnectionManager(self._handle_connection_event)
         self._thread: threading.Thread | None = None
         #: How long a blocked trigger waits for the coordinator thread to
@@ -149,6 +156,8 @@ class UpdateManager:
             compensate=lambda applied, trace=None: self._compensate(
                 applied, trace
             ),
+            journal=journal,
+            health=health,
         )
 
         self.statistics = StatsView(
@@ -313,7 +322,7 @@ class UpdateManager:
             # The old enqueue-then-dequeue dance could hand this trigger a
             # different session's item when two clients interleaved,
             # pointing the supplemental write at the wrong entry lock.
-            item = self.queue.claim(descriptor)
+            item = self.queue.claim(descriptor, trace=trace)
             done = threading.Event()
             failure: list[Exception] = []
             self._work.put((item, event.session, done, failure))
@@ -322,7 +331,7 @@ class UpdateManager:
             if failure:
                 raise failure[0]
             return
-        self.queue.enqueue(descriptor)
+        self.queue.enqueue(descriptor, trace=trace)
         self._drain(event.session)
 
     def _descriptor_from_event(
@@ -341,6 +350,14 @@ class UpdateManager:
             if self.tracer is not None
             else None
         )
+        if self.journal is not None:
+            self.journal.emit(
+                DDU_RECEIVED,
+                trace=trace,
+                device=binding.name,
+                op=descriptor.op.value,
+                key=str(descriptor.key),
+            )
         try:
             update = self.pipeline.intake_ddu(binding, descriptor, trace)
             if update is None:
@@ -375,8 +392,9 @@ class UpdateManager:
     # -- the coordinator --------------------------------------------------------------
 
     def _drain(self, session: Session) -> None:
+        trace = session.state.get(OBS_TRACE) if session is not None else None
         while True:
-            item = self.queue.dequeue()
+            item = self.queue.dequeue(trace=trace)
             if item is None:
                 return
             self._process(item, session)
@@ -411,6 +429,14 @@ class UpdateManager:
                 with trace_span(trace, "filter.compensate", device=binding.name):
                     binding.filter.compensate(update, before)
                 self._compensated.labels(device=binding.name).inc()
+                if self.journal is not None:
+                    self.journal.emit(
+                        SAGA_COMPENSATED,
+                        trace=trace,
+                        device=binding.name,
+                        action=update.action.value,
+                        key=update.key,
+                    )
             except Exception as exc:  # compensation is best-effort
                 self.error_log.record(
                     target=binding.name,

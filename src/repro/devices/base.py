@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -104,6 +105,14 @@ class Device:
         #: Optional fault hook: called as (op, key) before each update and
         #: may raise to simulate device errors.
         self.fault_injector: Callable[[str, str], None] | None = None
+        #: Optional link-telemetry hook: called as
+        #: ``(op, key, seconds, ok)`` after every write operation with the
+        #: wall-clock of the whole op (including the simulated link
+        #: round-trip).  The MetaComm health board attaches one per device
+        #: (:meth:`repro.obs.health.HealthBoard.link_observer`); direct
+        #: device updates and sync pushes are observed too, since they
+        #: travel the same management link.
+        self.op_observer: Callable[[str, str, float, bool], None] | None = None
         self.statistics = {"adds": 0, "modifies": 0, "deletes": 0, "reads": 0}
 
     # -- notifications -------------------------------------------------------
@@ -156,6 +165,29 @@ class Device:
         if self.link_latency > 0:
             time.sleep(self.link_latency)
 
+    @contextmanager
+    def _observed(self, op: str, key: str):
+        """Time one write op for the ``op_observer`` link-telemetry hook.
+
+        A no-op when no observer is attached; observer exceptions are
+        swallowed — telemetry must never change device semantics."""
+        observer = self.op_observer
+        if observer is None:
+            yield
+            return
+        start = time.perf_counter()
+        ok = True
+        try:
+            yield
+        except Exception:
+            ok = False
+            raise
+        finally:
+            try:
+                observer(op, str(key), time.perf_counter() - start, ok)
+            except Exception:
+                pass
+
     # -- hooks for subclasses ------------------------------------------------------
 
     def _generate_fields(self, record: dict[str, str]) -> None:
@@ -168,6 +200,10 @@ class Device:
 
     def add(self, record: Mapping[str, str], agent: str = "local") -> dict[str, str]:
         """Add a record; returns the committed record (with generated fields)."""
+        with self._observed("add", record.get(self.key_field, "")):
+            return self._add(record, agent)
+
+    def _add(self, record: Mapping[str, str], agent: str) -> dict[str, str]:
         self._check_available()
         self._link()
         committed = self._coerce(record, adding=True)
@@ -206,6 +242,15 @@ class Device:
     ) -> dict[str, str]:
         """Modify fields of one record; a None value removes the field.
         The whole change commits atomically or not at all."""
+        with self._observed("modify", key):
+            return self._modify(key, changes, agent)
+
+    def _modify(
+        self,
+        key: str,
+        changes: Mapping[str, str | None],
+        agent: str,
+    ) -> dict[str, str]:
         self._check_available()
         self._link()
         key = str(key)
@@ -252,6 +297,10 @@ class Device:
         return dict(updated)
 
     def delete(self, key: str, agent: str = "local") -> dict[str, str]:
+        with self._observed("delete", key):
+            return self._delete(key, agent)
+
+    def _delete(self, key: str, agent: str) -> dict[str, str]:
         self._check_available()
         self._link()
         key = str(key)

@@ -1,0 +1,220 @@
+"""Background consistency auditing and staleness gauges.
+
+``MetaComm.consistent()`` is the E1 oracle — but until now it only ran
+inside tests, after the system quiesced.  The auditor turns drift
+detection into a *runtime* signal, in the spirit of "Directory
+Reconciliation" (Mitzenmacher & Morgan): a low-rate sampler that probes
+one device binding's slice per cycle (round-robin) against live state,
+**without quiescing** — updates keep flowing while the probe walks the
+device dump and the directory's materialized view.
+
+Because the system stays live, a probe can race an in-flight update
+sequence and see a transient disagreement (device committed, supplemental
+write not yet landed).  That is by design: the sampler reports what it
+saw, and the alert layer's ``for N`` sustain absorbs one-cycle blips —
+persistent drift (a lost notification, a failed compensation, operator
+surgery on the device) keeps reappearing and fires.
+
+Each cycle also refreshes the staleness gauges that the ROADMAP's
+no-quiesce sync work will report through: global-queue depth and
+oldest-unclaimed-update age, per-device last-applied serial lag, and the
+device-health percentile gauges.  Finally the cycle hands control to the
+alert engine, so rule evaluation rides the same low-rate clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .events import AUDIT_CYCLE, AUDIT_MISMATCH
+
+__all__ = ["AuditReport", "ConsistencyAuditor"]
+
+#: How many problem strings an ``audit.mismatch`` journal event carries.
+_DETAIL_LIMIT = 3
+
+
+@dataclass
+class AuditReport:
+    """What one audit cycle saw."""
+
+    cycle: int
+    #: Device bindings probed this cycle (one in sampling mode, all in full).
+    probed: tuple[str, ...] = ()
+    #: Binding name → problem strings (empty lists are pruned).
+    mismatches: dict[str, list[str]] = field(default_factory=dict)
+    queue_depth: int = 0
+    oldest_age: float = 0.0
+    last_serial: int = 0
+    #: Binding name → serial lag behind the queue's last issued serial.
+    device_lag: dict[str, int] = field(default_factory=dict)
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def mismatch_count(self) -> int:
+        return sum(len(problems) for problems in self.mismatches.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "probed": list(self.probed),
+            "ok": self.ok,
+            "mismatches": {k: list(v) for k, v in self.mismatches.items()},
+            "queue_depth": self.queue_depth,
+            "oldest_age": self.oldest_age,
+            "last_serial": self.last_serial,
+            "device_lag": dict(self.device_lag),
+            "duration": self.duration,
+        }
+
+
+class ConsistencyAuditor:
+    """Round-robin ``consistent()`` sampler + staleness-gauge refresher.
+
+    ``run_cycle()`` probes the next binding slice (or every binding with
+    ``full=True``) and publishes what it saw; ``start()`` runs cycles on
+    a daemon thread at ``interval`` seconds.  The auditor never takes the
+    gateway quiesce — it reads live state and accepts sampling noise.
+    """
+
+    def __init__(self, system, interval: float = 0.5):
+        self.system = system
+        self.interval = interval
+        registry = system.obs.registry
+        self.journal = system.obs.journal
+        self._cycle = 0
+        self._next_binding = 0
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.last_report: AuditReport | None = None
+
+        self._cycles_total = registry.counter(
+            "metacomm_audit_cycles_total",
+            "Consistency-audit sampling cycles completed",
+        )
+        self._mismatches_total = registry.counter(
+            "metacomm_audit_mismatches_total",
+            "Device/directory disagreements observed by the auditor",
+            labelnames=("device",),
+        )
+        self._last_mismatches = registry.gauge(
+            "metacomm_audit_last_mismatches",
+            "Disagreements seen in the most recent audit cycle "
+            "(the audit-mismatch alert rule's input)",
+        )
+        self._errors_total = registry.counter(
+            "metacomm_audit_errors_total",
+            "Audit cycles that raised instead of completing",
+        )
+        self._cycle_seconds = registry.histogram(
+            "metacomm_audit_cycle_seconds",
+            "Duration of one consistency-audit cycle",
+        )
+
+    # -- one cycle ---------------------------------------------------------
+
+    def run_cycle(self, full: bool = False) -> AuditReport:
+        """Probe one binding slice (round-robin), or all with ``full``."""
+        start = time.perf_counter()
+        bindings = list(self.system.um.bindings)
+        with self._lock:
+            self._cycle += 1
+            cycle = self._cycle
+            if full or not bindings:
+                probed = bindings
+            else:
+                probed = [bindings[self._next_binding % len(bindings)]]
+                self._next_binding += 1
+
+        report = AuditReport(cycle=cycle, probed=tuple(b.name for b in probed))
+        for binding in probed:
+            problems = self.system.binding_inconsistencies(binding)
+            if problems:
+                report.mismatches[binding.name] = problems
+                self._mismatches_total.labels(device=binding.name).inc(
+                    len(problems)
+                )
+                if self.journal is not None:
+                    self.journal.emit(
+                        AUDIT_MISMATCH,
+                        device=binding.name,
+                        count=len(problems),
+                        problems=problems[:_DETAIL_LIMIT],
+                        cycle=cycle,
+                    )
+
+        # Staleness gauges: queue depth/age and per-device serial lag.
+        queue = self.system.um.queue
+        report.queue_depth = len(queue)
+        report.oldest_age = queue.refresh_staleness()
+        report.last_serial = queue.last_serial
+        health = self.system.obs.health
+        for binding in bindings:
+            device_health = health.device(binding.name)
+            report.device_lag[binding.name] = max(
+                0, report.last_serial - device_health.last_applied_serial
+            )
+        health.refresh_gauges(last_serial=report.last_serial)
+
+        self._last_mismatches.set(report.mismatch_count)
+        self._cycles_total.inc()
+        report.duration = time.perf_counter() - start
+        self._cycle_seconds.observe(report.duration)
+        if self.journal is not None:
+            self.journal.emit(
+                AUDIT_CYCLE,
+                cycle=cycle,
+                probed=list(report.probed),
+                mismatches=report.mismatch_count,
+                queue_depth=report.queue_depth,
+                oldest_age=round(report.oldest_age, 6),
+            )
+        self.last_report = report
+
+        # Alert rules ride the audit clock (never the update hot path).
+        alerts = getattr(self.system, "alerts", None)
+        if alerts is not None:
+            alerts.evaluate()
+        return report
+
+    # -- background loop ---------------------------------------------------
+
+    def start(self, interval: float | None = None) -> None:
+        """Run cycles on a daemon thread every ``interval`` seconds."""
+        if interval is not None:
+            self.interval = interval
+        if self._thread is not None:
+            return
+        self._stop = threading.Event()
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval):
+                try:
+                    self.run_cycle()
+                except Exception:
+                    # The auditor observes the system; it must never be
+                    # the thing that takes it down.
+                    self._errors_total.inc()
+
+        self._thread = threading.Thread(
+            target=loop, name="metacomm-auditor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None

@@ -1,0 +1,307 @@
+"""The structured event journal of the MetaComm health plane.
+
+Metrics (:mod:`repro.obs.metrics`) answer *how much* and traces
+(:mod:`repro.obs.trace`) answer *how long* — but neither answers *what
+happened, in order*.  The journal is the third leg: an append-only,
+bounded, thread-safe stream of typed lifecycle events covering an
+update's whole journey (accepted into the global queue, claimed by the
+coordinator, planned, attempted/committed/failed per device, compensated,
+supplementally written) plus the health plane's own observations (health
+state transitions, audit mismatches, alert raises/clears, sync progress).
+
+Every event carries the PR-1 trace id when one is active, so a journal
+line can be joined with its trace's spans; the serial number of the
+update sequence appears in the attributes for the same reason.  The
+in-memory store is a bounded ring (oldest events drop once ``capacity``
+is exceeded — counted, never silent) and the whole stream can be exported
+as JSONL for offline analysis (``python -m repro events --json``).
+
+Journals follow the registry convention: created *disabled* they turn
+``emit`` into a cheap no-op, which is what the health-plane overhead
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator, Mapping
+
+__all__ = [
+    "Event",
+    "EventJournal",
+    "EVENT_KINDS",
+    # event kinds
+    "UPDATE_ACCEPTED",
+    "UPDATE_CLAIMED",
+    "UPDATE_PLANNED",
+    "SEQUENCE_ABORTED",
+    "DEVICE_ATTEMPT",
+    "DEVICE_COMMIT",
+    "DEVICE_FAILURE",
+    "DEVICE_ROLLBACK",
+    "SAGA_COMPENSATED",
+    "SUPPLEMENTAL_WRITE",
+    "DDU_RECEIVED",
+    "SYNC_PROGRESS",
+    "HEALTH_TRANSITION",
+    "AUDIT_CYCLE",
+    "AUDIT_MISMATCH",
+    "ALERT_RAISED",
+    "ALERT_CLEARED",
+]
+
+# -- event kinds (the journal schema; see docs/OBSERVABILITY.md) ------------
+
+#: A descriptor entered the global update queue (carries ``serial``).
+UPDATE_ACCEPTED = "update.accepted"
+#: The coordinator took the descriptor for processing.
+UPDATE_CLAIMED = "update.claimed"
+#: The pipeline finished enrich+plan (carries the device fan-out count).
+UPDATE_PLANNED = "update.planned"
+#: A repository rejection aborted the remaining sequence.
+SEQUENCE_ABORTED = "sequence.aborted"
+#: A planned device update is about to be applied.
+DEVICE_ATTEMPT = "device.attempt"
+#: The device committed its planned update.
+DEVICE_COMMIT = "device.commit"
+#: The device rejected (or the link dropped) its planned update.
+DEVICE_FAILURE = "device.failure"
+#: Parallel mode undid a commit past the abort point.
+DEVICE_ROLLBACK = "device.rollback"
+#: Saga compensation undid an already-applied device update.
+SAGA_COMPENSATED = "saga.compensated"
+#: The closing section-5.5 supplemental LDAP write.
+SUPPLEMENTAL_WRITE = "supplemental.write"
+#: A direct device update arrived from a device filter.
+DDU_RECEIVED = "ddu.received"
+#: Progress of a synchronization run (start / batch / end phases).
+SYNC_PROGRESS = "sync.progress"
+#: A device's derived health state changed (healthy/degraded/unreachable).
+HEALTH_TRANSITION = "health.transition"
+#: The consistency auditor finished one sampling cycle.
+AUDIT_CYCLE = "audit.cycle"
+#: The auditor found device/directory disagreements in a slice.
+AUDIT_MISMATCH = "audit.mismatch"
+#: An alert rule's condition was sustained long enough to fire.
+ALERT_RAISED = "alert.raised"
+#: A previously firing alert's condition went away.
+ALERT_CLEARED = "alert.cleared"
+
+#: Every kind the shipped instrumentation emits, for validation/docs.
+EVENT_KINDS = (
+    UPDATE_ACCEPTED,
+    UPDATE_CLAIMED,
+    UPDATE_PLANNED,
+    SEQUENCE_ABORTED,
+    DEVICE_ATTEMPT,
+    DEVICE_COMMIT,
+    DEVICE_FAILURE,
+    DEVICE_ROLLBACK,
+    SAGA_COMPENSATED,
+    SUPPLEMENTAL_WRITE,
+    DDU_RECEIVED,
+    SYNC_PROGRESS,
+    HEALTH_TRANSITION,
+    AUDIT_CYCLE,
+    AUDIT_MISMATCH,
+    ALERT_RAISED,
+    ALERT_CLEARED,
+)
+
+
+class Event:
+    """One journal line: a typed fact with a timestamp and a trace link.
+
+    A plain slotted class rather than a dataclass: one Event is built per
+    ``emit`` on the update hot path, and slot assignment is measurably
+    cheaper than dataclass construction there.
+    """
+
+    __slots__ = ("seq", "ts", "kind", "trace_id", "attributes")
+
+    def __init__(
+        self,
+        seq: int,
+        ts: float,
+        kind: str,
+        trace_id: str | None = None,
+        attributes: Mapping[str, object] | None = None,
+    ):
+        self.seq = seq
+        #: Wall-clock time of the event (``time.time()`` epoch seconds).
+        self.ts = ts
+        self.kind = kind
+        #: The PR-1 trace this event belongs to, when one was active.
+        self.trace_id = trace_id
+        self.attributes = attributes if attributes is not None else {}
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "attributes": dict(self.attributes),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+    def __repr__(self) -> str:
+        attrs = " ".join(f"{k}={v}" for k, v in self.attributes.items())
+        return f"Event(#{self.seq} {self.kind} {attrs})".rstrip()
+
+
+#: Callback invoked (outside the journal lock) for every emitted event.
+EventListener = Callable[[Event], None]
+
+
+class EventJournal:
+    """Append-only bounded ring of :class:`Event`\\ s, safe across threads.
+
+    ``emit`` is the single producer entry point; the coordinator thread,
+    fan-out workers and client threads all call it concurrently.  Readers
+    (``events``, ``tail``, iteration) get consistent snapshots.
+    Subscribed listeners receive each event after it is stored — the
+    ``--follow`` CLI and the test harness use this; listener exceptions
+    are swallowed so a broken consumer can never damage the pipeline.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        enabled: bool = True,
+        registry=None,
+    ):
+        if capacity < 1:
+            raise ValueError("journal capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        #: Immutable snapshot, replaced wholesale on (un)subscribe, so
+        #: ``emit`` can iterate it without a lock or a copy.
+        self._listeners: tuple[EventListener, ...] = ()
+        self._emitted = None
+        self._emitted_children: dict[str, object] = {}
+        self._dropped = None
+        if registry is not None:
+            self._emitted = registry.counter(
+                "metacomm_journal_events_total",
+                "Lifecycle events appended to the event journal",
+                labelnames=("kind",),
+            )
+            self._dropped = registry.counter(
+                "metacomm_journal_dropped_total",
+                "Journal events evicted from the bounded ring",
+            )
+
+    # -- producing ---------------------------------------------------------
+
+    def emit(self, kind: str, trace=None, **attributes) -> Event | None:
+        """Append one event; returns it (``None`` when disabled).
+
+        ``trace`` accepts a :class:`~repro.obs.trace.Trace`, a bare trace
+        id string, or ``None``.
+        """
+        if not self.enabled:
+            return None
+        if isinstance(trace, str):
+            trace_id = trace
+        else:
+            trace_id = getattr(trace, "trace_id", None)
+        with self._lock:
+            dropping = len(self._events) >= self.capacity
+            event = Event(
+                next(self._seq), time.time(), kind, trace_id, attributes
+            )
+            self._events.append(event)
+        if self._emitted is not None:
+            child = self._emitted_children.get(kind)
+            if child is None:
+                # Benign race: two threads may both build the child; the
+                # registry dedupes by label key, so both get the same one.
+                child = self._emitted.labels(kind=kind)
+                self._emitted_children[kind] = child
+            child.inc()
+            if dropping:
+                self._dropped.inc()
+        for listener in self._listeners:
+            try:
+                listener(event)
+            except Exception:
+                pass  # a broken consumer must never damage the pipeline
+        return event
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(self, listener: EventListener) -> EventListener:
+        with self._lock:
+            self._listeners = self._listeners + (listener,)
+        return listener
+
+    def unsubscribe(self, listener: EventListener) -> None:
+        with self._lock:
+            # Equality, not identity: bound methods (journal.unsubscribe
+            # (seen.append)) are fresh objects on every attribute access.
+            self._listeners = tuple(
+                l for l in self._listeners if l != listener
+            )
+
+    # -- reading -----------------------------------------------------------
+
+    def events(
+        self,
+        kind: str | None = None,
+        since: int | None = None,
+    ) -> list[Event]:
+        """Snapshot of retained events, optionally filtered by ``kind``
+        and/or to sequence numbers strictly greater than ``since``."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        if since is not None:
+            events = [e for e in events if e.seq > since]
+        return events
+
+    def tail(self, n: int = 10) -> list[Event]:
+        with self._lock:
+            events = list(self._events)
+        return events[-n:] if n > 0 else []
+
+    def last(self, kind: str | None = None) -> Event | None:
+        matching = self.events(kind)
+        return matching[-1] if matching else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The retained stream as JSON Lines (one event per line)."""
+        lines = [event.to_json() for event in self.events()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_jsonl(self, path) -> int:
+        """Write the retained stream to ``path``; returns the event count."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(event.to_json())
+                handle.write("\n")
+        return len(events)

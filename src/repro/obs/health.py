@@ -1,0 +1,445 @@
+"""Device-link health telemetry.
+
+The paper's devices are reached over serial craft interfaces and slow
+management links — exactly the links that flap, degrade and silently
+stall in production.  This module derives a per-device **health state**
+from what the pipeline already observes on every fan-out:
+
+* a windowed reservoir of link latencies (rolling p50/p95/p99);
+* a rolling success/error window (error rate over the last N outcomes);
+* the consecutive-failure streak;
+* the last update serial the device applied (for replication-lag gauges).
+
+Two feeds converge here.  The **outcome feed** comes from the pipeline's
+fan-out stage (:meth:`HealthBoard.record_outcome`): did this device
+accept its planned update, and how long did the whole apply take?  It
+owns the error window, the streak, and therefore the derived state.  The
+**link feed** comes from :mod:`repro.devices.base` via each device's
+``op_observer`` hook (:meth:`HealthBoard.link_observer`): the raw
+wall-clock of every add/modify/delete at the device, including direct
+device updates and sync pushes that never cross the fan-out stage.  It
+owns the latency reservoir.  Keeping the feeds separate means a single
+real-world failure is never double-counted into the streak.
+
+States (exported as ``metacomm_device_health``, 0/1/2):
+
+* ``healthy`` — error rate and streak below the policy thresholds;
+* ``degraded`` — rolling error rate above ``degraded_error_rate`` (or
+  p95 above ``degraded_p95`` when configured);
+* ``unreachable`` — ``unreachable_streak`` consecutive failures.
+
+State transitions are emitted into the event journal
+(``health.transition``) so the record of a device going dark — and
+coming back — is auditable after the fact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = [
+    "HEALTHY",
+    "DEGRADED",
+    "UNREACHABLE",
+    "STATE_CODES",
+    "DeviceHealth",
+    "HealthBoard",
+    "HealthPolicy",
+    "LatencyReservoir",
+]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNREACHABLE = "unreachable"
+
+#: Numeric encoding used by the ``metacomm_device_health`` gauge (and
+#: therefore by alert rules: ``metacomm_device_health >= 1``).
+STATE_CODES = {HEALTHY: 0, DEGRADED: 1, UNREACHABLE: 2}
+
+
+class LatencyReservoir:
+    """A fixed-size window of the most recent latency samples.
+
+    Percentiles are computed over the window with nearest-rank
+    interpolation — exact for the window, O(n log n) on query, O(1) on
+    observe, which is the right trade for a hot observe path and a
+    low-rate query path (the auditor refreshing gauges).
+    """
+
+    def __init__(self, size: int = 128):
+        if size < 1:
+            raise ValueError("reservoir size must be >= 1")
+        self.size = size
+        self._samples: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0..100) of the window; 0.0 when empty."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        if p <= 0:
+            return samples[0]
+        if p >= 100:
+            return samples[-1]
+        rank = (p / 100.0) * (len(samples) - 1)
+        low = int(rank)
+        high = min(low + 1, len(samples) - 1)
+        weight = rank - low
+        return samples[low] * (1.0 - weight) + samples[high] * weight
+
+    def quantiles(self) -> dict[str, float]:
+        """The dashboard trio: p50/p95/p99 in one sorted pass."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+        def _at(p: float) -> float:
+            rank = (p / 100.0) * (len(samples) - 1)
+            low = int(rank)
+            high = min(low + 1, len(samples) - 1)
+            weight = rank - low
+            return samples[low] * (1.0 - weight) + samples[high] * weight
+
+        return {"p50": _at(50), "p95": _at(95), "p99": _at(99)}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds that derive a state from the rolling observations."""
+
+    #: Outcomes considered for the rolling error rate.
+    window: int = 64
+    #: Latency samples retained for percentile queries.
+    reservoir_size: int = 128
+    #: Error rate (0..1) over the window beyond which a device that is
+    #: still answering counts as degraded.
+    degraded_error_rate: float = 0.25
+    #: Consecutive failures beyond which the device counts as unreachable.
+    unreachable_streak: int = 3
+    #: Optional p95 latency bound (seconds); ``None`` leaves latency out
+    #: of the health judgement (simulated links are configured, not sick).
+    degraded_p95: float | None = None
+
+
+class DeviceHealth:
+    """Rolling health facts for one device link."""
+
+    def __init__(self, name: str, policy: HealthPolicy | None = None):
+        self.name = name
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.reservoir = LatencyReservoir(self.policy.reservoir_size)
+        self._lock = threading.Lock()
+        self._window: deque[bool] = deque()  # True = success
+        self._window_failures = 0
+        self.streak = 0  # consecutive failures
+        self.successes = 0
+        self.failures = 0
+        self.link_ops = 0
+        self.link_errors = 0
+        self.last_success_at: float | None = None
+        self.last_failure_at: float | None = None
+        #: Highest global-queue serial this device has applied, and when.
+        self.last_applied_serial = 0
+        self.last_applied_at: float | None = None
+
+    # -- feeds -------------------------------------------------------------
+
+    def record_outcome(self, seconds: float, ok: bool) -> None:
+        """One fan-out outcome: the device accepted/rejected its update."""
+        now = time.time()
+        with self._lock:
+            self._window.append(ok)
+            if not ok:
+                self._window_failures += 1
+            while len(self._window) > self.policy.window:
+                if not self._window.popleft():
+                    self._window_failures -= 1
+            if ok:
+                self.successes += 1
+                self.streak = 0
+                self.last_success_at = now
+            else:
+                self.failures += 1
+                self.streak += 1
+                self.last_failure_at = now
+
+    def record_link(self, seconds: float, ok: bool) -> None:
+        """One raw device operation (the ``op_observer`` feed)."""
+        self.reservoir.observe(seconds)
+        with self._lock:
+            self.link_ops += 1
+            if not ok:
+                self.link_errors += 1
+
+    def note_applied(self, serial: int) -> None:
+        with self._lock:
+            if serial > self.last_applied_serial:
+                self.last_applied_serial = serial
+                self.last_applied_at = time.time()
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def error_rate(self) -> float:
+        with self._lock:
+            if not self._window:
+                return 0.0
+            return self._window_failures / len(self._window)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            streak = self.streak
+            window = len(self._window)
+            failures = self._window_failures
+        if streak >= self.policy.unreachable_streak:
+            return UNREACHABLE
+        if window and failures / window > self.policy.degraded_error_rate:
+            return DEGRADED
+        if (
+            self.policy.degraded_p95 is not None
+            and len(self.reservoir)
+            and self.reservoir.percentile(95) > self.policy.degraded_p95
+        ):
+            return DEGRADED
+        return HEALTHY
+
+    def snapshot(self) -> dict:
+        quantiles = self.reservoir.quantiles()
+        with self._lock:
+            return {
+                "device": self.name,
+                "state": self.state_unlocked(),
+                "successes": self.successes,
+                "failures": self.failures,
+                "streak": self.streak,
+                "error_rate": (
+                    self._window_failures / len(self._window)
+                    if self._window
+                    else 0.0
+                ),
+                "link_ops": self.link_ops,
+                "link_errors": self.link_errors,
+                "latency": quantiles,
+                "last_applied_serial": self.last_applied_serial,
+                "last_success_at": self.last_success_at,
+                "last_failure_at": self.last_failure_at,
+            }
+
+    def state_unlocked(self) -> str:
+        """State computed from already-held-lock fields (internal)."""
+        if self.streak >= self.policy.unreachable_streak:
+            return UNREACHABLE
+        if (
+            self._window
+            and self._window_failures / len(self._window)
+            > self.policy.degraded_error_rate
+        ):
+            return DEGRADED
+        return HEALTHY
+
+    def __repr__(self) -> str:
+        return f"DeviceHealth({self.name!r}, {self.state})"
+
+
+class HealthBoard:
+    """All device links' health, fed by the pipeline and the devices.
+
+    The board is the single writer of the ``metacomm_device_*`` metric
+    families; it also emits ``health.transition`` journal events whenever
+    an outcome flips a device's derived state.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        journal=None,
+        policy: HealthPolicy | None = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.journal = journal
+        self._devices: dict[str, DeviceHealth] = {}
+        self._states: dict[str, str] = {}
+        self._lock = threading.Lock()
+        #: name -> (ok counter, error counter, streak gauge, state gauge)
+        #: children, resolved once per device — ``.labels()`` key building
+        #: is measurable on the per-outcome hot path.
+        self._hot_children: dict[str, tuple] = {}
+        self._state_gauge = None
+        if registry is not None:
+            self._state_gauge = registry.gauge(
+                "metacomm_device_health",
+                "Derived device-link health (0=healthy 1=degraded "
+                "2=unreachable)",
+                labelnames=("device",),
+            )
+            self._attempts = registry.counter(
+                "metacomm_device_attempts_total",
+                "Fan-out apply outcomes per device link",
+                labelnames=("device", "outcome"),
+            )
+            self._streak_gauge = registry.gauge(
+                "metacomm_device_consecutive_failures",
+                "Current consecutive-failure streak of a device link",
+                labelnames=("device",),
+            )
+            self._error_rate_gauge = registry.gauge(
+                "metacomm_device_error_rate",
+                "Rolling error rate of a device link over the health window",
+                labelnames=("device",),
+            )
+            self._latency_gauge = registry.gauge(
+                "metacomm_device_link_latency_seconds",
+                "Rolling latency percentile of a device link "
+                "(refreshed each audit cycle)",
+                labelnames=("device", "quantile"),
+            )
+            self._lag_gauge = registry.gauge(
+                "metacomm_device_last_applied_lag",
+                "Update serials between the global queue head and the "
+                "last serial this device applied",
+                labelnames=("device",),
+            )
+        else:
+            self._attempts = None
+            self._streak_gauge = None
+            self._error_rate_gauge = None
+            self._latency_gauge = None
+            self._lag_gauge = None
+
+    # -- device registry ---------------------------------------------------
+
+    def device(self, name: str) -> DeviceHealth:
+        with self._lock:
+            health = self._devices.get(name)
+            if health is None:
+                health = DeviceHealth(name, self.policy)
+                self._devices[name] = health
+                self._states[name] = HEALTHY
+            return health
+
+    def devices(self) -> list[DeviceHealth]:
+        with self._lock:
+            return list(self._devices.values())
+
+    def states(self) -> dict[str, str]:
+        return {h.name: h.state for h in self.devices()}
+
+    # -- feeds -------------------------------------------------------------
+
+    def _hot(self, name: str) -> tuple | None:
+        if self._attempts is None:
+            return None
+        children = self._hot_children.get(name)
+        if children is None:
+            # Benign race: both threads resolve the same registry children.
+            children = (
+                self._attempts.labels(device=name, outcome="ok"),
+                self._attempts.labels(device=name, outcome="error"),
+                self._streak_gauge.labels(device=name),
+                self._state_gauge.labels(device=name),
+            )
+            self._hot_children[name] = children
+        return children
+
+    def record_outcome(self, name: str, seconds: float, ok: bool) -> None:
+        """The fan-out feed: one per-device apply outcome."""
+        if not self.enabled:
+            return
+        health = self.device(name)
+        health.record_outcome(seconds, ok)
+        children = self._hot(name)
+        if children is not None:
+            ok_child, error_child, streak_child, _ = children
+            (ok_child if ok else error_child).inc()
+            streak_child.set(health.streak)
+        self._after_change(health, children)
+
+    def record_link(
+        self, name: str, op: str, seconds: float, ok: bool
+    ) -> None:
+        """The device feed: one raw add/modify/delete at the device."""
+        if not self.enabled:
+            return
+        self.device(name).record_link(seconds, ok)
+
+    def link_observer(self, name: str):
+        """An ``op_observer`` callable for :class:`repro.devices.base.Device`."""
+
+        def observer(op: str, key: str, seconds: float, ok: bool) -> None:
+            self.record_link(name, op, seconds, ok)
+
+        return observer
+
+    def note_applied(self, name: str, serial: int) -> None:
+        if not self.enabled:
+            return
+        self.device(name).note_applied(serial)
+
+    # -- derived / export --------------------------------------------------
+
+    def _after_change(
+        self, health: DeviceHealth, children: tuple | None
+    ) -> None:
+        """Detect a state transition and publish it (gauge + journal)."""
+        state = health.state
+        with self._lock:
+            previous = self._states.get(health.name, HEALTHY)
+            self._states[health.name] = state
+        if children is not None:
+            children[3].set(STATE_CODES[state])
+        if state != previous and self.journal is not None:
+            self.journal.emit(
+                "health.transition",
+                device=health.name,
+                previous=previous,
+                state=state,
+                streak=health.streak,
+                error_rate=round(health.error_rate, 4),
+            )
+
+    def refresh_gauges(self, last_serial: int | None = None) -> None:
+        """Publish the low-rate gauges (percentiles, error rate, lag).
+
+        Called by the consistency auditor each cycle — percentile sorts
+        and lag math stay off the per-update hot path.
+        """
+        if not self.enabled:
+            return
+        for health in self.devices():
+            name = health.name
+            if self._error_rate_gauge is not None:
+                self._error_rate_gauge.labels(device=name).set(
+                    health.error_rate
+                )
+                self._streak_gauge.labels(device=name).set(health.streak)
+                self._state_gauge.labels(device=name).set(
+                    STATE_CODES[health.state]
+                )
+            if self._latency_gauge is not None:
+                for quantile, value in health.reservoir.quantiles().items():
+                    self._latency_gauge.labels(
+                        device=name, quantile=quantile
+                    ).set(value)
+            if self._lag_gauge is not None and last_serial is not None:
+                lag = max(0, last_serial - health.last_applied_serial)
+                self._lag_gauge.labels(device=name).set(lag)
+
+    def snapshot(self) -> dict:
+        return {h.name: h.snapshot() for h in self.devices()}

@@ -180,6 +180,20 @@ class Tracer:
         matching = self.traces(name)
         return matching[-1] if matching else None
 
+    def finish_open(self) -> int:
+        """Close every still-open trace; returns how many were closed.
+
+        Exporters call this before dumping so the output never shows
+        dangling in-flight spans — an open trace at dump time means the
+        workload finished without its owner closing it (or is genuinely
+        mid-flight), and either way the dump should be self-consistent."""
+        closed = 0
+        for trace in self.traces():
+            if not trace.finished:
+                trace.finish()
+                closed += 1
+        return closed
+
     def clear(self) -> None:
         with self._lock:
             self._traces.clear()

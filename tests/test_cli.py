@@ -68,6 +68,17 @@ class TestCli:
         assert 'metacomm_um_fanout_total{device="definity"} 2' in out
         assert "lexpress_instructions_total" in out
 
+    def test_stats_closes_open_traces_before_dumping(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        trace_lines = [
+            line for line in out.splitlines() if line.startswith("# trace:")
+        ]
+        assert trace_lines
+        # The flush closed every trace: no dangling "[open]" markers.
+        assert all(line.endswith("us]") for line in trace_lines)
+        assert not any("[open]" in line for line in trace_lines)
+
     def test_experiments(self, capsys):
         assert main(["experiments"]) == 0
         assert "--benchmark-only" in capsys.readouterr().out
@@ -75,6 +86,79 @@ class TestCli:
     def test_unknown_command_prints_usage(self, capsys):
         assert main(["bogus"]) == 2
         assert "Commands" in capsys.readouterr().out
+
+
+class TestMonitorCommand:
+    def test_one_shot_dashboard(self, capsys):
+        assert main(["monitor"]) == 0
+        out = capsys.readouterr().out
+        assert "queue: depth=0" in out
+        assert "definity" in out and "messaging" in out
+        assert "healthy" in out
+        assert "[ok]" in out
+        assert "alerts: none" in out
+        assert "journal:" in out
+
+    def test_json_snapshot(self, capsys):
+        assert main(["monitor", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["queue"]["depth"] == 0
+        assert snapshot["audit"]["ok"] is True
+        assert snapshot["alerts"] == []
+        assert snapshot["devices"]["definity"]["state"] == "healthy"
+        # The demo workload: one LDAP add serial + one DDU serial.
+        assert snapshot["queue"]["last_serial"] == 2
+
+    def test_watch_cycles(self, capsys):
+        assert main(["monitor", "--watch", "--interval=0.01",
+                     "--cycles=2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("queue: depth=") == 2
+
+    def test_unknown_option_is_exit_2(self, capsys):
+        assert main(["monitor", "--bogus"]) == 2
+        capsys.readouterr()
+
+
+class TestEventsCommand:
+    def test_text_stream_shows_the_update_journey(self, capsys):
+        assert main(["events"]) == 0
+        out = capsys.readouterr().out
+        for kind in (
+            "update.accepted",
+            "update.planned",
+            "device.commit",
+            "supplemental.write",
+            "ddu.received",
+            "audit.cycle",
+        ):
+            assert kind in out
+        # Events carry their trace correlation inline.
+        assert "[trace-" in out
+
+    def test_json_output_is_jsonl(self, capsys):
+        assert main(["events", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert all("kind" in e and "seq" in e for e in events)
+        assert events[0]["kind"] == "update.accepted"
+
+    def test_limit(self, capsys):
+        assert main(["events", "--limit=3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[-1].split()[1] == "audit.cycle"
+
+    def test_follow_streams_in_order(self, capsys):
+        assert main(["events", "--follow"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        seqs = [int(line.split()[0].lstrip("#")) for line in lines]
+        assert seqs == sorted(seqs)
+        assert any("device.commit" in line for line in lines)
+
+    def test_unknown_option_is_exit_2(self, capsys):
+        assert main(["events", "--bogus"]) == 2
+        capsys.readouterr()
 
 
 class TestCheckCommand:

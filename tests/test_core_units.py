@@ -105,6 +105,70 @@ class TestGlobalUpdateQueue:
         queue.dequeue()
         assert queue.statistics == {"enqueued": 1, "processed": 1}
 
+    def test_depth_gauge_tracks_transitions(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        queue = GlobalUpdateQueue(registry=registry)
+        assert registry.value("metacomm_queue_depth") == 0
+        queue.enqueue(self.descriptor("a"))
+        queue.enqueue(self.descriptor("b"))
+        assert registry.value("metacomm_queue_depth") == 2
+        queue.dequeue()
+        assert registry.value("metacomm_queue_depth") == 1
+        queue.dequeue()
+        assert registry.value("metacomm_queue_depth") == 0
+
+    def test_oldest_age_gauge(self):
+        import time
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        queue = GlobalUpdateQueue(registry=registry)
+        assert queue.oldest_age() == 0.0
+        queue.enqueue(self.descriptor("a"))
+        time.sleep(0.01)
+        age = queue.refresh_staleness()
+        assert age >= 0.01
+        assert registry.value("metacomm_queue_oldest_age_seconds") == age
+        # Age follows the *oldest* item: a second enqueue doesn't reset it.
+        queue.enqueue(self.descriptor("b"))
+        assert queue.oldest_age() >= age
+        queue.dequeue()
+        queue.dequeue()
+        # Drained: the gauge drops back to zero on the dequeue transition.
+        assert queue.oldest_age() == 0.0
+        assert registry.value("metacomm_queue_oldest_age_seconds") == 0.0
+
+    def test_last_serial_tracks_claim_and_enqueue(self):
+        queue = GlobalUpdateQueue()
+        assert queue.last_serial == 0
+        queue.enqueue(self.descriptor("a"))
+        assert queue.last_serial == 1
+        queue.claim(self.descriptor("b"))
+        assert queue.last_serial == 2
+
+    def test_journal_events_on_enqueue_claim_dequeue(self):
+        from repro.obs import EventJournal
+
+        journal = EventJournal()
+        queue = GlobalUpdateQueue(journal=journal)
+        queue.enqueue(self.descriptor("a"), trace="trace-9")
+        queue.dequeue()
+        queue.claim(self.descriptor("b"))
+        kinds = [e.kind for e in journal.events()]
+        assert kinds == [
+            "update.accepted",
+            "update.claimed",
+            "update.accepted",
+            "update.claimed",
+        ]
+        first = journal.events()[0]
+        assert first.trace_id == "trace-9"
+        assert first.attributes["serial"] == 1
+        assert first.attributes["op"] == "add"
+
 
 class TestAclDecisions:
     def test_default_allow_and_deny(self):
