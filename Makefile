@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test check bench-smoke bench bench-pipeline bench-health lint stats monitor
+.PHONY: test check bench-smoke bench bench-pipeline bench-lanes bench-health lint stats monitor
 
 ## Tier-1: the full unit/integration suite (tests/ only).
 test:
@@ -20,6 +20,11 @@ bench-smoke:
 ## Serial vs concurrent device fan-out throughput; writes BENCH_pipeline.json.
 bench-pipeline:
 	$(PYTHON) -m pytest benchmarks/test_pipeline_throughput.py -m benchmarks -s -p no:cacheprovider
+
+## Coordinator-lane sweep (1/2/4/8 lanes, partition-disjoint workload);
+## writes BENCH_lanes.json (docs/CONCURRENCY.md).
+bench-lanes:
+	$(PYTHON) -m pytest benchmarks/test_lane_throughput.py -m benchmarks -s -p no:cacheprovider
 
 ## Health-plane overhead: pipeline throughput with the journal + health
 ## board + background auditor on vs observability off; writes

@@ -25,6 +25,7 @@ is 1 when error-severity findings remain (or warnings, with
 ``monitor`` usage::
 
     python -m repro monitor [--json] [--watch] [--interval=0.5] [--cycles=N]
+                            [--lanes=N]
 
 One-shot by default: runs the demo workload, one full audit cycle, and
 prints queue staleness, per-device health, active alerts and the audit
@@ -183,13 +184,20 @@ def cmd_check(args: list[str]) -> int:
     return 1 if failed else 0
 
 
-def _demo_system():
+def _demo_system(lanes: int = 1):
     """The stats/monitor/events demo workload: one LDAP add (fan-out to
-    PBX + messaging) and one DDU (craft-terminal room change)."""
+    PBX + messaging) and one DDU (craft-terminal room change).
+
+    ``lanes`` > 1 runs the workload through the commutativity-sharded
+    queue (docs/CONCURRENCY.md) so the per-lane monitor section has
+    real lanes to show.
+    """
     from repro.core import MetaComm, MetaCommConfig
     from repro.schemas import PERSON_CLASSES
 
-    system = MetaComm(MetaCommConfig(organizations=("Marketing",)))
+    system = MetaComm(
+        MetaCommConfig(organizations=("Marketing",), coordinator_lanes=lanes)
+    )
     conn = system.connection()
     conn.add(
         "cn=John Doe,o=Marketing,o=Lucent",
@@ -241,6 +249,14 @@ def _render_monitor(snapshot: dict) -> str:
         f"oldest_age={queue['oldest_age'] * 1000:.1f}ms "
         f"last_serial={queue['last_serial']}"
     )
+    lanes = queue.get("lanes") or []
+    if len(lanes) > 1:
+        for lane in lanes:
+            lines.append(
+                f"  lane {lane['lane']:<7} depth={lane['depth']} "
+                f"oldest_age={lane['oldest_age'] * 1000:.1f}ms "
+                f"last_serial={lane['last_serial']}"
+            )
     devices = snapshot["devices"]
     if devices:
         lines.append(
@@ -297,6 +313,7 @@ def cmd_monitor(args: list[str]) -> int:
     watch = False
     interval = 0.5
     cycles: int | None = None
+    lanes = 1
     for arg in args:
         if arg == "--json":
             as_json = True
@@ -306,11 +323,13 @@ def cmd_monitor(args: list[str]) -> int:
             interval = float(arg.split("=", 1)[1])
         elif arg.startswith("--cycles="):
             cycles = int(arg.split("=", 1)[1])
+        elif arg.startswith("--lanes="):
+            lanes = int(arg.split("=", 1)[1])
         else:
             print(f"monitor: unknown option {arg!r}", file=sys.stderr)
             return 2
 
-    system = _demo_system()
+    system = _demo_system(lanes=lanes)
     try:
         remaining = cycles if cycles is not None else (1 if not watch else None)
         ran = 0

@@ -18,6 +18,12 @@ from .diagnostics import CATALOG, Diagnostic, Severity, Suppressions, sort_key
 from .graph import check_graph
 from .partitions import InstanceBinding, check_partitions
 from .report import render_json, render_text
+from .routing import (
+    SERIAL_REASONS,
+    LaneDecision,
+    RoutingPlan,
+    build_routing_plan,
+)
 from .rules import check_mapping_rules
 from .runner import (
     AnalysisError,
@@ -35,10 +41,14 @@ __all__ = [
     "CATALOG",
     "Diagnostic",
     "InstanceBinding",
+    "LaneDecision",
+    "RoutingPlan",
+    "SERIAL_REASONS",
     "Severity",
     "Suppressions",
     "analyze",
     "analyze_strict",
+    "build_routing_plan",
     "check_graph",
     "check_mapping_rules",
     "check_partitions",

@@ -22,7 +22,7 @@ from .pipeline import (
     UpdateSequencePipeline,
     merge_attrs,
 )
-from .queue import GlobalUpdateQueue, QueuedUpdate
+from .queue import GlobalUpdateQueue, QueuedUpdate, ShardedUpdateQueue
 from .sync import SyncReport, Synchronizer
 from .update_manager import DeviceBinding, UpdateManager
 
@@ -45,6 +45,7 @@ __all__ = [
     "PbxConfig",
     "QueuedUpdate",
     "SequenceOutcome",
+    "ShardedUpdateQueue",
     "StageResult",
     "SyncReport",
     "Synchronizer",

@@ -90,6 +90,13 @@ class MetaCommConfig:
     #: disjoint, so per-device histories are unchanged — see
     #: docs/PIPELINE.md for the serialization argument).
     fanout_workers: int = 1
+    #: Concurrent coordinator lanes for the Update Manager's drain path.
+    #: 1 (default) is the paper's single global queue, byte-identical in
+    #: behaviour; >1 builds a routing oracle from the mapping
+    #: configuration (repro.analysis.build_routing_plan) and shards
+    #: provably-commuting updates over that many lanes, with a serial
+    #: fallback lane for everything unprovable — see docs/CONCURRENCY.md.
+    coordinator_lanes: int = 1
     #: Run lexcheck (repro.analysis) over the full configuration before
     #: constructing the Update Manager and refuse to boot on any
     #: error-severity finding (docs/ANALYSIS.md).  Off by default: the
@@ -182,6 +189,15 @@ class MetaComm:
 
             analyze_strict(self.analysis_target(), registry=self.obs.registry)
 
+        routing_plan = None
+        if self.config.coordinator_lanes > 1:
+            # The commutativity proof the sharded drain path rests on:
+            # lexcheck's partition constraints + LX403 conflict probing,
+            # compiled once into a per-configuration RoutingPlan.
+            from ..analysis import build_routing_plan
+
+            routing_plan = build_routing_plan(self.analysis_target())
+
         self.um = UpdateManager(
             self.server,
             self.gateway,
@@ -195,6 +211,8 @@ class MetaComm:
             fanout_workers=self.config.fanout_workers,
             journal=self.obs.journal,
             health=self.obs.health,
+            coordinator_lanes=self.config.coordinator_lanes,
+            routing_plan=routing_plan,
         )
         self.sync = Synchronizer(self.um)
         self.suffix = suffix
@@ -415,6 +433,7 @@ class MetaComm:
                 "depth": len(queue),
                 "oldest_age": queue.oldest_age(),
                 "last_serial": queue.last_serial,
+                "lanes": queue.lane_snapshot(),
             },
             "devices": self.obs.health.snapshot(),
             "audit": report.to_dict() if report is not None else None,

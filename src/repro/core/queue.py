@@ -1,4 +1,4 @@
-"""The Update Manager's global update queue.
+"""The Update Manager's update queues: global (paper-serial) and sharded.
 
 Paper section 4.4: "the LDAP filter ... creates a lexpress update
 descriptor for the update that is then added to a global queue in the UM.
@@ -6,14 +6,23 @@ The main thread of the UM, the coordinator, iterates through the global
 update queue" and "The queue maintained by the UM enforces a serialization
 order."
 
-The queue is a plain FIFO with a serial number per item — the serial *is*
-the system-wide serialization order that makes the reapplication technique
-converge.  Items are stamped with their enqueue time so the dequeue path
-can feed the enqueue→dequeue latency histogram (queue lag is the paper's
-"converge after some delay", made measurable), and the consistency auditor
-publishes how long the oldest unclaimed item has waited
-(``metacomm_queue_oldest_age_seconds`` — the staleness-window gauge the
-no-quiesce sync work will report through).
+:class:`GlobalUpdateQueue` is that paper queue: a plain FIFO with a serial
+number per item — the serial *is* the system-wide serialization order that
+makes the reapplication technique converge.  Items are stamped with their
+enqueue time so the dequeue path can feed the enqueue→dequeue latency
+histogram, and the consistency auditor publishes how long the oldest
+unclaimed item has waited (``metacomm_queue_oldest_age_seconds``).
+
+:class:`ShardedUpdateQueue` relaxes the single FIFO into N lanes plus one
+serial lane, *without giving up the serial numbers*: every claim still
+draws from one global counter, so the system-wide serialization order is
+preserved — lanes merely allow items the routing oracle
+(:mod:`repro.analysis.routing`) proved commuting to drain concurrently.
+Items the oracle cannot prove disjoint land on the serial lane, which
+drains under a barrier: a serial item runs only once every lane has
+quiesced past its serial, and lane items enqueued after it wait for it to
+finish.  See docs/CONCURRENCY.md for the protocol and its correctness
+argument.
 """
 
 from __future__ import annotations
@@ -23,11 +32,15 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from zlib import crc32
 
 from ..lexpress.descriptor import UpdateDescriptor
-from ..obs.events import UPDATE_ACCEPTED, UPDATE_CLAIMED
+from ..obs.events import LANE_BARRIER, UPDATE_ACCEPTED, UPDATE_CLAIMED
 from ..obs.metrics import MetricsRegistry
 from ..obs.views import StatsView
+
+#: Label of the fallback lane everything unprovable serializes onto.
+SERIAL_LANE = "serial"
 
 
 @dataclass(frozen=True)
@@ -38,6 +51,10 @@ class QueuedUpdate:
     descriptor: UpdateDescriptor
     #: ``time.perf_counter()`` at enqueue (0.0 for hand-built items).
     enqueued_at: float = field(default=0.0, compare=False)
+    #: Lane label assigned by the routing oracle (None on the global queue).
+    lane: str | None = field(default=None, compare=False)
+    #: The oracle's reason: "partition" or one of the serial fallbacks.
+    reason: str | None = field(default=None, compare=False)
 
 
 class GlobalUpdateQueue:
@@ -95,6 +112,14 @@ class GlobalUpdateQueue:
             key=getattr(descriptor, "key", None),
         )
 
+    def _complete(self, item: QueuedUpdate, trace) -> None:
+        """The shared leaving-the-queue path of ``claim`` and ``dequeue``:
+        one place observes the wait histogram and emits ``update.claimed``,
+        so journal/metric emission cannot drift between the two."""
+        if item.enqueued_at:
+            self._wait.observe(time.perf_counter() - item.enqueued_at)
+        self._emit(UPDATE_CLAIMED, item, trace)
+
     def enqueue(
         self, descriptor: UpdateDescriptor, trace=None
     ) -> QueuedUpdate:
@@ -128,9 +153,8 @@ class GlobalUpdateQueue:
             self._last_serial = item.serial
             self._enqueued.inc()
             self._processed.inc()
-        self._wait.observe(time.perf_counter() - now)
         self._emit(UPDATE_ACCEPTED, item, trace)
-        self._emit(UPDATE_CLAIMED, item, trace)
+        self._complete(item, trace)
         return item
 
     def dequeue(self, trace=None) -> QueuedUpdate | None:
@@ -140,10 +164,8 @@ class GlobalUpdateQueue:
             item = self._items.popleft()
             self._processed.inc()
             self._depth.set(len(self._items))
-        if item.enqueued_at:
-            self._wait.observe(time.perf_counter() - item.enqueued_at)
         self.refresh_staleness()
-        self._emit(UPDATE_CLAIMED, item, trace)
+        self._complete(item, trace)
         return item
 
     def __len__(self) -> int:
@@ -176,3 +198,312 @@ class GlobalUpdateQueue:
         age = self.oldest_age()
         self._oldest_age.set(age)
         return age
+
+    def lane_snapshot(self) -> list[dict]:
+        """The single FIFO viewed as one pseudo-lane, so monitoring code
+        renders identically against either queue class."""
+        return [
+            {
+                "lane": "0",
+                "depth": len(self),
+                "oldest_age": self.oldest_age(),
+                "last_serial": self.last_serial,
+            }
+        ]
+
+
+class ShardedUpdateQueue:
+    """N FIFO lanes + one serial lane over a single global serial counter.
+
+    The routing oracle assigns every claimed descriptor a lane key (hashed
+    onto one of ``lanes`` labels) or sends it to the serial lane.  Claims
+    are atomic, per-lane order is FIFO by serial, and the **barrier
+    protocol** orders the serial lane against everything else:
+
+    * a serial item with serial *S* becomes runnable only when it is the
+      serial lane's oldest outstanding item **and** no lane holds an
+      outstanding item with serial < *S* (all lanes have quiesced past
+      its enqueue point);
+    * a lane item with serial *L* becomes runnable only when it is its
+      lane's oldest outstanding item **and** no serial-lane item with
+      serial < *L* is still outstanding.
+
+    Serials never wait on larger serials, so the protocol is deadlock-free
+    by strict descent.  ``claim`` → ``wait_turn`` → (process) → ``finish``
+    is the consumer contract; each step is safe under arbitrary thread
+    interleavings.
+    """
+
+    def __init__(
+        self,
+        plan,
+        lanes: int = 2,
+        registry: MetricsRegistry | None = None,
+        journal=None,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError("a sharded queue needs at least one lane")
+        self.plan = plan
+        self.lanes = lanes
+        self.journal = journal
+        self.labels: tuple[str, ...] = tuple(
+            [str(i) for i in range(lanes)] + [SERIAL_LANE]
+        )
+        self._cond = threading.Condition()
+        self._serials = itertools.count(1)
+        self._last_serial = 0
+        #: lane label -> serial -> enqueue stamp, for items claimed but not
+        #: yet running (the depth/staleness view).
+        self._waiting: dict[str, dict[int, float]] = {
+            label: {} for label in self.labels
+        }
+        #: lane label -> serials claimed but not finished (the barrier's
+        #: quiescence view: waiting ∪ running).
+        self._outstanding: dict[str, set[int]] = {
+            label: set() for label in self.labels
+        }
+        #: lane label -> highest serial ever claimed onto the lane.
+        self._lane_last: dict[str, int] = {label: 0 for label in self.labels}
+
+        registry = registry if registry is not None else MetricsRegistry()
+        self._enqueued = registry.counter(
+            "metacomm_queue_enqueued_total",
+            "Update descriptors appended to the global queue",
+        )
+        self._processed = registry.counter(
+            "metacomm_queue_processed_total",
+            "Update descriptors removed from the global queue",
+        )
+        self._lane_enqueued = registry.counter(
+            "metacomm_queue_lane_enqueued_total",
+            "Update descriptors routed onto each coordinator lane",
+            labelnames=("lane",),
+        )
+        self._serial_fallback = registry.counter(
+            "metacomm_queue_serial_fallback_total",
+            "Updates the routing oracle sent to the serial lane, by reason",
+            labelnames=("reason",),
+        )
+        self._depth = registry.gauge(
+            "metacomm_queue_depth",
+            "Update descriptors currently waiting in the global queue",
+        )
+        self._lane_depth = registry.gauge(
+            "metacomm_queue_lane_depth",
+            "Update descriptors currently waiting on each lane",
+            labelnames=("lane",),
+        )
+        self._oldest_age = registry.gauge(
+            "metacomm_queue_oldest_age_seconds",
+            "How long the oldest unclaimed update has waited "
+            "(the max over all lanes, so the queue-backlog alert rule "
+            "keeps firing under sharding)",
+        )
+        self._lane_oldest_age = registry.gauge(
+            "metacomm_queue_lane_oldest_age_seconds",
+            "How long each lane's oldest unclaimed update has waited",
+            labelnames=("lane",),
+        )
+        self._wait = registry.histogram(
+            "metacomm_queue_wait_seconds",
+            "Enqueue-to-dequeue latency of the global queue",
+        )
+        self._barrier_wait = registry.histogram(
+            "metacomm_queue_barrier_seconds",
+            "How long serial-lane items waited for all lanes to quiesce",
+        )
+        self.statistics = StatsView(
+            {
+                "enqueued": lambda: self._enqueued.value,
+                "processed": lambda: self._processed.value,
+                "serial_routed": lambda: self._serial_fallback.total(),
+            }
+        )
+
+    # -- producing ----------------------------------------------------------
+
+    def _emit(self, kind: str, item: QueuedUpdate, trace, **extra) -> None:
+        if self.journal is None:
+            return
+        descriptor = item.descriptor
+        op = getattr(descriptor, "op", None)
+        self.journal.emit(
+            kind,
+            trace=trace,
+            serial=item.serial,
+            op=getattr(op, "value", op),
+            key=getattr(descriptor, "key", None),
+            lane=item.lane,
+            **extra,
+        )
+
+    def lane_of(self, lane_key: str | None) -> str:
+        """Deterministic lane assignment: same key → same lane, always."""
+        if lane_key is None:
+            return SERIAL_LANE
+        return str(crc32(lane_key.encode("utf-8")) % self.lanes)
+
+    def claim(
+        self,
+        descriptor: UpdateDescriptor,
+        trace=None,
+        rename: bool = False,
+    ) -> QueuedUpdate:
+        """Atomically assign the next global serial and a lane.
+
+        Like :meth:`GlobalUpdateQueue.claim`, the item is never visible to
+        any other consumer — the caller (or the lane worker it hands the
+        item to) must call :meth:`wait_turn` before processing and
+        :meth:`finish` afterwards."""
+        decision = self.plan.classify(descriptor, rename=rename)
+        label = self.lane_of(decision.lane_key)
+        now = time.perf_counter()
+        with self._cond:
+            serial = next(self._serials)
+            self._last_serial = serial
+            self._waiting[label][serial] = now
+            self._outstanding[label].add(serial)
+            self._lane_last[label] = serial
+            self._enqueued.inc()
+            self._lane_enqueued.labels(lane=label).inc()
+            if decision.serial:
+                self._serial_fallback.labels(reason=decision.reason).inc()
+            self._publish_depth()
+        item = QueuedUpdate(
+            serial, descriptor, now, lane=label, reason=decision.reason
+        )
+        self._emit(UPDATE_ACCEPTED, item, trace, reason=decision.reason)
+        return item
+
+    # -- the barrier protocol ------------------------------------------------
+
+    def _runnable(self, item: QueuedUpdate) -> bool:
+        """Caller holds ``_cond``.  See the class docstring for the rules."""
+        mine = self._outstanding[item.lane]
+        if not mine or min(mine) != item.serial:
+            return False
+        if item.lane == SERIAL_LANE:
+            return all(
+                not lane or min(lane) > item.serial
+                for label, lane in self._outstanding.items()
+                if label != SERIAL_LANE
+            )
+        serial_lane = self._outstanding[SERIAL_LANE]
+        return not serial_lane or min(serial_lane) > item.serial
+
+    def wait_turn(
+        self,
+        item: QueuedUpdate,
+        stop: threading.Event | None = None,
+        timeout: float | None = None,
+        trace=None,
+    ) -> bool:
+        """Block until *item* may run under the barrier protocol.
+
+        Returns True once the item is runnable (it then counts as claimed
+        for metrics/journal purposes); False when ``stop`` was set or
+        ``timeout`` elapsed first — the caller must still call
+        :meth:`finish` so the barrier does not wedge on the abandoned
+        serial."""
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while not self._runnable(item):
+                if stop is not None and stop.is_set():
+                    return False
+                if deadline is not None and time.perf_counter() >= deadline:
+                    return False
+                self._cond.wait(timeout=0.05)
+            self._waiting[item.lane].pop(item.serial, None)
+            self._processed.inc()
+            self._publish_depth()
+        waited = (
+            time.perf_counter() - item.enqueued_at if item.enqueued_at else 0.0
+        )
+        self._wait.observe(waited)
+        if item.lane == SERIAL_LANE:
+            # The serial item just cleared the barrier: every lane has
+            # quiesced past its serial.  Journal it — this is the event a
+            # wedged-barrier investigation greps for.
+            self._barrier_wait.observe(waited)
+            self._emit(LANE_BARRIER, item, trace, waited=round(waited, 6))
+        self._emit(UPDATE_CLAIMED, item, trace)
+        return True
+
+    def finish(self, item: QueuedUpdate) -> None:
+        """Mark *item* done; wakes every consumer blocked on the barrier."""
+        with self._cond:
+            self._outstanding[item.lane].discard(item.serial)
+            self._waiting[item.lane].pop(item.serial, None)
+            self._publish_depth()
+            self._cond.notify_all()
+
+    def _publish_depth(self) -> None:
+        """Caller holds ``_cond``."""
+        total = 0
+        for label in self.labels:
+            depth = len(self._waiting[label])
+            total += depth
+            self._lane_depth.labels(lane=label).set(depth)
+        self._depth.set(total)
+
+    # -- status (the GlobalUpdateQueue compatibility surface) ----------------
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(len(w) for w in self._waiting.values())
+
+    def peek_serial(self) -> int | None:
+        with self._cond:
+            waiting = [min(w) for w in self._waiting.values() if w]
+            return min(waiting) if waiting else None
+
+    @property
+    def last_serial(self) -> int:
+        """The highest serial issued so far (the serialization head)."""
+        with self._cond:
+            return self._last_serial
+
+    def _lane_age(self, label: str, now: float) -> float:
+        """Caller holds ``_cond``."""
+        stamps = self._waiting[label].values()
+        return (now - min(stamps)) if stamps else 0.0
+
+    def oldest_age(self) -> float:
+        """Seconds the oldest unclaimed update has waited, over all lanes."""
+        now = time.perf_counter()
+        with self._cond:
+            return max(self._lane_age(label, now) for label in self.labels)
+
+    def refresh_staleness(self) -> float:
+        """Publish per-lane and aggregate (max-lane) oldest-age gauges.
+
+        The aggregate lands on ``metacomm_queue_oldest_age_seconds`` — the
+        same series the single queue publishes — so the shipped
+        ``queue-backlog`` alert rule fires identically under sharding."""
+        now = time.perf_counter()
+        with self._cond:
+            ages = {
+                label: self._lane_age(label, now) for label in self.labels
+            }
+        for label, age in ages.items():
+            self._lane_oldest_age.labels(lane=label).set(age)
+        aggregate = max(ages.values())
+        self._oldest_age.set(aggregate)
+        return aggregate
+
+    def lane_snapshot(self) -> list[dict]:
+        """Per-lane depth / staleness / last-serial (the monitor CLI's
+        lane section)."""
+        now = time.perf_counter()
+        with self._cond:
+            return [
+                {
+                    "lane": label,
+                    "depth": len(self._waiting[label]),
+                    "oldest_age": self._lane_age(label, now),
+                    "last_serial": self._lane_last[label],
+                }
+                for label in self.labels
+            ]

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..ldap.backend import ChangeType
 from ..ldap.protocol import Session
 from ..ldap.server import LdapServer
 from ..lexpress.closure import ClosureEngine
@@ -54,7 +55,7 @@ from .filters.base import Filter, FilterError
 from .filters.device_filter import DeviceFilter
 from .filters.ldap_filter import LdapFilter
 from .pipeline import FailurePolicy, UpdateSequencePipeline, _descriptor_from_event
-from .queue import GlobalUpdateQueue, QueuedUpdate
+from .queue import GlobalUpdateQueue, QueuedUpdate, ShardedUpdateQueue
 
 
 @dataclass
@@ -88,6 +89,8 @@ class UpdateManager:
         fanout_workers: int = 1,
         journal=None,
         health=None,
+        coordinator_lanes: int = 1,
+        routing_plan=None,
     ):
         self.server = server
         self.gateway = gateway
@@ -98,11 +101,34 @@ class UpdateManager:
         self.tracer = tracer
         self.journal = journal
         self.health = health
-        self.queue = GlobalUpdateQueue(
-            registry=self.registry, journal=journal
-        )
+        self.coordinator_lanes = max(1, coordinator_lanes)
+        self.routing_plan = routing_plan
+        if self.coordinator_lanes > 1:
+            # Sharded drain path: the routing oracle's lane keys spread
+            # provably-commuting updates over concurrent coordinator
+            # lanes; everything unprovable serializes behind the barrier.
+            if routing_plan is None:
+                raise ValueError(
+                    "coordinator_lanes > 1 requires a routing plan "
+                    "(repro.analysis.build_routing_plan)"
+                )
+            self.queue: GlobalUpdateQueue | ShardedUpdateQueue = (
+                ShardedUpdateQueue(
+                    routing_plan,
+                    lanes=self.coordinator_lanes,
+                    registry=self.registry,
+                    journal=journal,
+                )
+            )
+        else:
+            # 1 lane = the paper's single global queue, byte-identical.
+            self.queue = GlobalUpdateQueue(
+                registry=self.registry, journal=journal
+            )
         self.connections = ConnectionManager(self._handle_connection_event)
         self._thread: threading.Thread | None = None
+        self._lane_threads: dict[str, threading.Thread] = {}
+        self._lane_work: dict[str, object] = {}
         #: How long a blocked trigger waits for the coordinator thread to
         #: finish one sequence before giving up (section 4.4's serialized
         #: discipline means a stuck sequence must surface, not hang).
@@ -273,6 +299,9 @@ class UpdateManager:
         the waiting client's lock for supplemental writes."""
         import queue as _queue
 
+        if self.sharded:
+            self._start_lanes()
+            return
         if self._thread is not None:
             return
         self._work: "_queue.Queue" = _queue.Queue()
@@ -297,16 +326,85 @@ class UpdateManager:
         )
         self._thread.start()
 
+    def _start_lanes(self) -> None:
+        """The coordinator *pool*: one worker per lane plus the serial
+        lane's.  Each worker runs the same staged pipeline the single
+        coordinator would; the sharded queue's barrier protocol decides
+        when each claimed item may start."""
+        import queue as _queue
+
+        if self._lane_threads:
+            return
+        self._stop = threading.Event()
+
+        def lane_loop(label: str, work: "_queue.Queue") -> None:
+            while not self._stop.is_set():
+                try:
+                    job = work.get(timeout=0.05)
+                except _queue.Empty:
+                    continue
+                item, session, done, failure = job
+                trace = (
+                    session.state.get(OBS_TRACE)
+                    if session is not None
+                    else None
+                )
+                try:
+                    if self.queue.wait_turn(
+                        item,
+                        stop=self._stop,
+                        timeout=self.coordinator_timeout,
+                        trace=trace,
+                    ):
+                        self._process(item, session)
+                    else:
+                        failure.append(
+                            RuntimeError(
+                                f"lane {item.lane} barrier wait gave up "
+                                f"on serial {item.serial}"
+                            )
+                        )
+                except Exception as exc:  # surfaced to the waiting trigger
+                    failure.append(exc)
+                finally:
+                    # Always release the serial from the barrier — an
+                    # abandoned outstanding serial would wedge every
+                    # later serial-lane item.
+                    self.queue.finish(item)
+                    done.set()
+
+        for label in self.queue.labels:
+            work: "_queue.Queue" = _queue.Queue()
+            thread = threading.Thread(
+                target=lane_loop,
+                args=(label, work),
+                name=f"metacomm-lane-{label}",
+                daemon=True,
+            )
+            self._lane_work[label] = work
+            self._lane_threads[label] = thread
+            thread.start()
+
     def stop(self) -> None:
-        if self._thread is None:
+        if self._thread is None and not self._lane_threads:
             return
         self._stop.set()
-        self._thread.join(timeout=5)
-        self._thread = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        for thread in self._lane_threads.values():
+            thread.join(timeout=5)
+        self._lane_threads = {}
+        self._lane_work = {}
 
     @property
     def threaded(self) -> bool:
-        return self._thread is not None
+        return self._thread is not None or bool(self._lane_threads)
+
+    @property
+    def sharded(self) -> bool:
+        """True when the drain path runs multiple coordinator lanes."""
+        return isinstance(self.queue, ShardedUpdateQueue)
 
     # -- LDAP event intake ---------------------------------------------------------
 
@@ -315,6 +413,39 @@ class UpdateManager:
         trace = event.session.state.get(OBS_TRACE)
         descriptor = self.pipeline.intake_event(event, trace)
         if descriptor is None:
+            return
+        if self.sharded:
+            # The descriptor folds a ModifyRDN into a MODIFY keyed by the
+            # new DN, so the oracle needs the operation kind from the
+            # trigger event to route renames onto the serial lane.
+            rename = event.change_type is ChangeType.MODIFY_RDN
+            item = self.queue.claim(descriptor, trace=trace, rename=rename)
+            if self._lane_threads:
+                done = threading.Event()
+                failure: list[Exception] = []
+                self._lane_work[item.lane].put(
+                    (item, event.session, done, failure)
+                )
+                if not done.wait(timeout=self.coordinator_timeout):
+                    raise RuntimeError(
+                        "coordinator did not complete the sequence"
+                    )
+                if failure:
+                    raise failure[0]
+                return
+            # Synchronous sharded mode: the client thread is its own lane
+            # worker — the barrier still orders it against concurrent
+            # claims from other client threads.
+            try:
+                if not self.queue.wait_turn(
+                    item, timeout=self.coordinator_timeout, trace=trace
+                ):
+                    raise RuntimeError(
+                        "coordinator did not complete the sequence"
+                    )
+                self._process(item, event.session)
+            finally:
+                self.queue.finish(item)
             return
         if self._thread is not None:
             # Atomic claim: the descriptor gets its serial and goes

@@ -37,6 +37,7 @@ __all__ = [
     # event kinds
     "UPDATE_ACCEPTED",
     "UPDATE_CLAIMED",
+    "LANE_BARRIER",
     "UPDATE_PLANNED",
     "SEQUENCE_ABORTED",
     "DEVICE_ATTEMPT",
@@ -58,8 +59,12 @@ __all__ = [
 
 #: A descriptor entered the global update queue (carries ``serial``).
 UPDATE_ACCEPTED = "update.accepted"
-#: The coordinator took the descriptor for processing.
+#: The coordinator took the descriptor for processing.  Under a sharded
+#: queue the event carries the lane label the routing oracle assigned.
 UPDATE_CLAIMED = "update.claimed"
+#: A serial-lane item cleared the quiescence barrier: every concurrent
+#: lane drained past its serial (docs/CONCURRENCY.md).
+LANE_BARRIER = "queue.barrier"
 #: The pipeline finished enrich+plan (carries the device fan-out count).
 UPDATE_PLANNED = "update.planned"
 #: A repository rejection aborted the remaining sequence.
@@ -95,6 +100,7 @@ ALERT_CLEARED = "alert.cleared"
 EVENT_KINDS = (
     UPDATE_ACCEPTED,
     UPDATE_CLAIMED,
+    LANE_BARRIER,
     UPDATE_PLANNED,
     SEQUENCE_ABORTED,
     DEVICE_ATTEMPT,

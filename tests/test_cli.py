@@ -109,6 +109,27 @@ class TestMonitorCommand:
         # The demo workload: one LDAP add serial + one DDU serial.
         assert snapshot["queue"]["last_serial"] == 2
 
+    def test_lanes_text_section(self, capsys):
+        assert main(["monitor", "--lanes=3"]) == 0
+        out = capsys.readouterr().out
+        assert "queue: depth=0" in out
+        for label in ("0", "1", "2", "serial"):
+            assert f"lane {label}" in out
+        # The single-lane dashboard stays untouched: no lane section.
+        assert main(["monitor"]) == 0
+        assert "lane serial" not in capsys.readouterr().out
+
+    def test_lanes_json_snapshot(self, capsys):
+        assert main(["monitor", "--lanes=3", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        lanes = snapshot["queue"]["lanes"]
+        assert [row["lane"] for row in lanes] == ["0", "1", "2", "serial"]
+        assert all(row["depth"] == 0 for row in lanes)
+        # The demo workload: one LDAP add (laned) + one DDU (serial).
+        assert snapshot["queue"]["last_serial"] == 2
+        serial_row = lanes[-1]
+        assert serial_row["last_serial"] == 2
+
     def test_watch_cycles(self, capsys):
         assert main(["monitor", "--watch", "--interval=0.01",
                      "--cycles=2"]) == 0
