@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test check bench-smoke bench bench-pipeline bench-lanes bench-health lint stats monitor
+.PHONY: test check bench-smoke bench bench-pipeline bench-lanes bench-health bench-e7 lint stats monitor
 
 ## Tier-1: the full unit/integration suite (tests/ only).
 test:
@@ -31,6 +31,12 @@ bench-lanes:
 ## BENCH_health.json and fails on > 5% regression.
 bench-health:
 	$(PYTHON) -m pytest benchmarks/test_health_overhead.py -m benchmarks -s -p no:cacheprovider
+
+## Rule evaluation engines: interpreter vs compiled closures vs verify
+## mode on the E7 image() workload; writes BENCH_e7.json and fails when
+## compiled closures are < 2x the interpreter (docs/LEXPRESS_COMPILER.md).
+bench-e7:
+	$(PYTHON) -m pytest benchmarks/test_e7_compiled.py -m benchmarks -s -p no:cacheprovider
 
 ## Static checks (ruff config in pyproject.toml); skips when ruff is absent.
 lint:

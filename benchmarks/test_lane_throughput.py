@@ -47,7 +47,8 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_lanes.json"
 def _fleet(lanes: int) -> MetaComm:
     """Eight PBXes with disjoint extension prefixes: every update fans
     out to exactly one PBX (plus messaging), and updates from different
-    prefixes provably commute."""
+    prefixes provably commute.  Rules run on the compiled tier — the
+    production configuration this benchmark gates."""
     system = MetaComm(
         MetaCommConfig(
             pbxes=[
@@ -55,6 +56,7 @@ def _fleet(lanes: int) -> MetaComm:
                 for i in range(CLIENTS)
             ],
             coordinator_lanes=lanes,
+            lexpress_mode="compiled",
         )
     )
     for pbx in system.pbxes.values():

@@ -14,13 +14,23 @@ experiments list the experiment harness and how to run it
 ``check`` usage::
 
     python -m repro check [--json] [--fail-on=warning] [--show-suppressed]
-                          [description.lex ...]
+                          [--disasm] [description.lex ...]
 
 With no files, analyzes the default MetaComm deployment (the standard
 mapping library plus its device bindings).  With files, compiles each
 lexpress description and analyzes them as one configuration.  Exit code
 is 1 when error-severity findings remain (or warnings, with
-``--fail-on=warning``), 0 otherwise.
+``--fail-on=warning``), 0 otherwise.  ``--disasm`` appends the optimized
+byte code of every analyzed rule (what the compiled tier lowers; see
+docs/LEXPRESS_COMPILER.md).
+
+``stats`` usage::
+
+    python -m repro stats [--lexpress=interpret|compiled|verify]
+
+``--lexpress`` selects the rule execution engine for the workload
+(docs/LEXPRESS_COMPILER.md); ``compiled`` and ``verify`` add a
+``#``-prefixed compiled-rule-cache section ahead of the metrics.
 
 ``monitor`` usage::
 
@@ -121,6 +131,7 @@ def cmd_check(args: list[str]) -> int:
     as_json = False
     fail_on = "error"
     show_suppressed = False
+    disasm = False
     files: list[str] = []
     for arg in args:
         if arg == "--json":
@@ -133,6 +144,8 @@ def cmd_check(args: list[str]) -> int:
                 return 2
         elif arg == "--show-suppressed":
             show_suppressed = True
+        elif arg == "--disasm":
+            disasm = True
         elif arg.startswith("-"):
             print(f"check: unknown option {arg!r}", file=sys.stderr)
             print(__doc__, file=sys.stderr)
@@ -170,33 +183,45 @@ def cmd_check(args: list[str]) -> int:
             ],
         )
         report = analyze(target)
+        analyzed = list(mappings.values())
     else:
         from repro.core import MetaComm, MetaCommConfig
 
         with MetaComm(MetaCommConfig()) as system:
             report = system.analyze()
+            analyzed = list(system.mappings.values())
 
     if as_json:
         print(render_json(report))
     else:
         print(render_text(report, show_suppressed=show_suppressed))
+    if disasm:
+        for mapping in analyzed:
+            for rule in mapping.rules:
+                print(f"\n# --- {mapping.name}.{rule.target} (optimized) ---")
+                print(rule.code.disassemble())
     failed = bool(report.errors) or (fail_on == "warning" and report.warnings)
     return 1 if failed else 0
 
 
-def _demo_system(lanes: int = 1):
+def _demo_system(lanes: int = 1, lexpress_mode: str = "interpret"):
     """The stats/monitor/events demo workload: one LDAP add (fan-out to
     PBX + messaging) and one DDU (craft-terminal room change).
 
     ``lanes`` > 1 runs the workload through the commutativity-sharded
     queue (docs/CONCURRENCY.md) so the per-lane monitor section has
-    real lanes to show.
+    real lanes to show.  ``lexpress_mode`` selects the rule execution
+    engine (docs/LEXPRESS_COMPILER.md).
     """
     from repro.core import MetaComm, MetaCommConfig
     from repro.schemas import PERSON_CLASSES
 
     system = MetaComm(
-        MetaCommConfig(organizations=("Marketing",), coordinator_lanes=lanes)
+        MetaCommConfig(
+            organizations=("Marketing",),
+            coordinator_lanes=lanes,
+            lexpress_mode=lexpress_mode,
+        )
     )
     conn = system.connection()
     conn.add(
@@ -219,13 +244,31 @@ def cmd_stats(args: list[str]) -> int:
     trace summaries are emitted as ``#``-prefixed comment lines, so the
     whole thing can be piped straight into a scrape file.
     """
-    system = _demo_system()
+    from repro.lexpress import MODES, rule_cache
+
+    mode = "interpret"
+    for arg in args:
+        if arg.startswith("--lexpress="):
+            mode = arg.split("=", 1)[1]
+            if mode not in MODES:
+                print(f"stats: bad --lexpress value {mode!r} "
+                      f"(expected one of {', '.join(MODES)})", file=sys.stderr)
+                return 2
+        else:
+            print(f"stats: unknown option {arg!r}", file=sys.stderr)
+            return 2
+
+    system = _demo_system(lexpress_mode=mode)
     # Flush before dumping: close any trace still open (so the export
     # never shows dangling in-flight spans) and release the background
     # machinery — the workload is done, the dump must be self-consistent.
     system.close()
     system.obs.tracer.finish_open()
 
+    if mode != "interpret":
+        cache = rule_cache().stats()
+        pairs = " ".join(f"{key}={cache[key]}" for key in sorted(cache))
+        print(f"# lexpress compiled rule cache ({mode} mode): {pairs}")
     for trace in system.traces():
         spans = ", ".join(
             f"{span.name}={span.duration * 1e6:.0f}us" for span in trace.spans

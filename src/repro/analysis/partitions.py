@@ -73,6 +73,14 @@ def _string_consts(code: CodeObject) -> set[str]:
                 const = code.consts[ins.arg]
                 if isinstance(const, str) and const:
                     out.add(const)
+        elif ins.op is Op.TABLE_CONST:
+            if isinstance(ins.arg, int) and 0 <= ins.arg < len(code.consts):
+                const = code.consts[ins.arg]
+                if isinstance(const, tuple) and isinstance(const[0], dict):
+                    table, default = const
+                    for value in (*table.keys(), *table.values(), default):
+                        if isinstance(value, str) and value:
+                            out.add(value)
         elif ins.op is Op.EACH_APPLY:
             if isinstance(ins.arg, int) and 0 <= ins.arg < len(code.consts):
                 const = code.consts[ins.arg]

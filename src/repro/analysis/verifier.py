@@ -228,6 +228,37 @@ class _Verifier:
                 return [(pc + 1, (BOOL,))]
             return [(pc + 1, _push(stack[:-1], BOOL))]
 
+        if op is Op.TABLE_CONST:
+            table_ok = const_ok(ins.arg, tuple, "(table, default) pair")
+            result: Kind = frozenset()
+            if table_ok:
+                const = consts[ins.arg]
+                if (
+                    len(const) != 2
+                    or not isinstance(const[0], dict)
+                    or not all(isinstance(k, str) for k in const[0])
+                ):
+                    self.report(
+                        "LX106",
+                        pc,
+                        f"TABLE_CONST: constant {ins.arg} is not a "
+                        "(dict[str, value], default) pair",
+                    )
+                    table_ok = False
+            if table_ok:
+                for value in (*const[0].values(), const[1]):
+                    result |= (
+                        NULL if value is None
+                        else BOOL if isinstance(value, bool)
+                        else STR if isinstance(value, str)
+                        else ANY
+                    )
+            else:
+                result = ANY
+            if underflow(1):
+                return [(pc + 1, (result,))]
+            return [(pc + 1, _push(stack[:-1], result))]
+
         if op is Op.EACH_APPLY:
             if const_ok(ins.arg, CodeObject, "code object"):
                 body: CodeObject = consts[ins.arg]

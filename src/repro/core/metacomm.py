@@ -26,6 +26,7 @@ from ..ldap.client import LdapConnection
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.server import LdapServer
+from .. import lexpress
 from ..lexpress.partition import PartitionConstraint
 from ..ltap.gateway import LtapGateway
 from ..obs import (
@@ -35,6 +36,7 @@ from ..obs import (
     Trace,
     default_rules,
 )
+from ..obs.events import LEXPRESS_COMPILED
 from ..schemas.integrated import build_integrated_schema
 from ..schemas.mappings import DEFAULT_PHONE_PREFIX, standard_mappings
 from .errorlog import ErrorLog
@@ -103,6 +105,12 @@ class MetaCommConfig:
     #: analyzer costs a few closure probes per boot and most tests build
     #: throwaway configurations.
     strict_analysis: bool = False
+    #: Execution engine for lexpress rule evaluation
+    #: (docs/LEXPRESS_COMPILER.md): "interpret" (default) runs the
+    #: byte-code interpreter, "compiled" serves verifier-gated Python
+    #: closures from the process-wide rule cache, "verify" runs both and
+    #: raises LexpressDivergenceError on any disagreement.
+    lexpress_mode: str = "interpret"
 
 
 class MetaComm:
@@ -138,6 +146,23 @@ class MetaComm:
         )
         self.error_log = ErrorLog(self.server, suffix)
         self.mappings = standard_mappings(self.config.phone_prefix)
+
+        mode = self.config.lexpress_mode
+        if mode not in lexpress.MODES:
+            raise ValueError(
+                f"lexpress_mode must be one of {', '.join(lexpress.MODES)}; "
+                f"got {mode!r}"
+            )
+        self._lexpress_listener = None
+        if mode != "interpret":
+            for mapping in self.mappings.values():
+                mapping.lexpress_mode = mode
+
+            def _on_compile(event: dict, _journal=self.obs.journal) -> None:
+                _journal.emit(LEXPRESS_COMPILED, **event)
+
+            self._lexpress_listener = _on_compile
+            lexpress.rule_cache().subscribe(_on_compile)
 
         people_container = (
             DN.parse(self.config.people_container)
@@ -276,6 +301,9 @@ class MetaComm:
         thread, fan-out pool)."""
         self.auditor.stop()
         self.um.close()
+        if self._lexpress_listener is not None:
+            lexpress.rule_cache().unsubscribe(self._lexpress_listener)
+            self._lexpress_listener = None
 
     def __enter__(self) -> "MetaComm":
         return self

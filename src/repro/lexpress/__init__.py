@@ -26,7 +26,15 @@ from .closure import (
     check_cycles,
     dependency_graph,
 )
-from .compiler import compile_expr
+from .codegen import (
+    MODES,
+    CompiledClosure,
+    CompiledRuleCache,
+    compile_closure,
+    rule_cache,
+    run_rule,
+)
+from .compiler import compile_expr, optimize_expr
 from .descriptor import (
     TargetAction,
     TargetUpdate,
@@ -38,12 +46,13 @@ from .errors import (
     CyclicDependencyError,
     FixpointError,
     LexpressCompileError,
+    LexpressDivergenceError,
     LexpressError,
     LexpressRuntimeError,
     LexpressSyntaxError,
 )
 from .functions import known_functions
-from .interpreter import execute, truthy
+from .interpreter import execute, lower_attrs, truthy
 from .lexer import Token, TokenType, tokenize
 from .library import MappingSetBuilder
 from .mapping import (
@@ -58,13 +67,16 @@ from .partition import AlwaysTrue, PartitionConstraint, route
 
 __all__ = [
     "AlwaysTrue", "ClosureEngine", "ClosureResult", "CodeObject",
-    "CompiledMapping", "CompiledRule", "Conflict", "CycleReport",
+    "CompiledClosure", "CompiledMapping", "CompiledRule",
+    "CompiledRuleCache", "Conflict", "CycleReport",
     "CyclicDependencyError", "FixpointError", "Instruction",
-    "LexpressCompileError", "LexpressError", "LexpressRuntimeError",
-    "LexpressSyntaxError", "MappingInstance", "MappingSetBuilder", "Op",
+    "LexpressCompileError", "LexpressDivergenceError", "LexpressError",
+    "LexpressRuntimeError", "LexpressSyntaxError", "MODES",
+    "MappingInstance", "MappingSetBuilder", "Op",
     "PartitionConstraint", "Span", "TargetAction", "TargetUpdate", "Token",
     "TokenType", "UpdateDescriptor", "UpdateOp", "analyze_cycles",
-    "check_cycles", "compile_description", "compile_expr",
-    "compile_mapping", "dependency_graph", "execute", "known_functions",
-    "normalize_attrs", "parse", "route", "tokenize", "truthy",
+    "check_cycles", "compile_closure", "compile_description",
+    "compile_expr", "compile_mapping", "dependency_graph", "execute",
+    "known_functions", "lower_attrs", "normalize_attrs", "optimize_expr",
+    "parse", "route", "rule_cache", "run_rule", "tokenize", "truthy",
 ]

@@ -12,6 +12,7 @@ The machine is a small stack VM.  Runtime values are ``None`` (null),
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -30,6 +31,9 @@ class Op(enum.Enum):
     MATCH_LIT = "match_lit"  # arg: const index of literal; pops subject, pushes bool
     EACH_APPLY = "each_apply"  # arg: const index of body CodeObject; pops list,
     #                            pushes list of mapped values
+    TABLE_CONST = "table_const"  # arg: const index of (dict, default); pops the
+    #                              subject, pushes the interned table's value
+    #                              (MATCH_LIT group semantics on a hit)
     DUP = "dup"
     POP = "pop"
     IS_NULL = "is_null"
@@ -72,6 +76,10 @@ class CodeObject:
     span: Span | None = None
     #: Set by the compiler while emitting; recorded per instruction.
     current_span: Span | None = None
+    #: Lazily computed caches (fingerprint, lowered attribute-name consts);
+    #: invalidated whenever the instruction stream or pool changes.
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
+    _attr_keys: list | None = field(default=None, repr=False, compare=False)
 
     def const(self, value: Any) -> int:
         """Intern *value* in the constant pool, returning its index."""
@@ -79,16 +87,56 @@ class CodeObject:
             if type(existing) is type(value) and existing == value:
                 return i
         self.consts.append(value)
+        self._fingerprint = None
+        self._attr_keys = None
         return len(self.consts) - 1
 
     def emit(self, op: Op, arg: Any = None) -> int:
         """Append an instruction; returns its index (for jump patching)."""
         self.instructions.append(Instruction(op, arg))
         self.spans.append(self.current_span)
+        self._fingerprint = None
         return len(self.instructions) - 1
 
     def patch(self, index: int, arg: Any) -> None:
         self.instructions[index] = Instruction(self.instructions[index].op, arg)
+        self._fingerprint = None
+
+    def attr_keys(self) -> list:
+        """Constant pool with string entries pre-lowered.
+
+        LOAD_ATTR / LOAD_ALL resolve attribute names case-insensitively;
+        lowering the name on every executed instruction was measurable on
+        the E7 hot path, so the lowered spellings are computed once per
+        code object and indexed exactly like ``consts``."""
+        keys = self._attr_keys
+        if keys is None or len(keys) != len(self.consts):
+            keys = [
+                c.lower() if isinstance(c, str) else None for c in self.consts
+            ]
+            self._attr_keys = keys
+        return keys
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the instruction stream and constant pool.
+
+        The compiled-rule cache (:mod:`repro.lexpress.codegen`) keys its
+        entries by ``(mapping, attribute, fingerprint)``: recompiling a
+        description — or mutating a code object in place — changes the
+        fingerprint and invalidates the cached closure."""
+        cached = self._fingerprint
+        if cached is not None:
+            return cached
+        digest = hashlib.sha1()
+        for ins in self.instructions:
+            digest.update(str(ins).encode())
+            digest.update(b";")
+        for const in self.consts:
+            digest.update(_const_key(const).encode())
+            digest.update(b";")
+        cached = digest.hexdigest()
+        self._fingerprint = cached
+        return cached
 
     def span_at(self, index: int) -> Span | None:
         """Source span of instruction *index* (falls back to the code span)."""
@@ -119,4 +167,19 @@ def _render_const(const: Any) -> str:
         return f"<code {const.name!r}>\n    {body}"
     if hasattr(const, "pattern"):  # compiled regex
         return f"/{const.pattern}/"
+    if isinstance(const, tuple) and len(const) == 2 and isinstance(const[0], dict):
+        entries = ", ".join(f"{k!r}: {v!r}" for k, v in const[0].items())
+        return f"<table {{{entries}}} default={const[1]!r}>"
     return repr(const)
+
+
+def _const_key(const: Any) -> str:
+    """Canonical string form of one constant, for :meth:`fingerprint`."""
+    if isinstance(const, CodeObject):
+        return f"code:{const.fingerprint()}"
+    if hasattr(const, "pattern"):  # compiled regex
+        return f"re:{const.pattern}"
+    if isinstance(const, tuple) and len(const) == 2 and isinstance(const[0], dict):
+        entries = ",".join(f"{k!r}:{v!r}" for k, v in sorted(const[0].items()))
+        return f"table:{{{entries}}}:{const[1]!r}"
+    return f"{type(const).__name__}:{const!r}"

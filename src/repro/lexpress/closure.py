@@ -42,6 +42,24 @@ from .interpreter import execute
 from .mapping import CompiledMapping, CompiledRule, _as_values
 
 
+def _rule_values(
+    mapping: CompiledMapping | None,
+    rule: CompiledRule,
+    attrs: Mapping[str, Sequence[str]],
+    *,
+    canonical: bool = False,
+) -> list[str] | None:
+    """Evaluate one rule to normalized attribute values.
+
+    The single entry point for every rule evaluation in this module:
+    with a mapping, the evaluation honors its ``lexpress_mode`` (serving
+    compiled closures from the process cache); without one (compile-time
+    probes), it runs the plain interpreter."""
+    if mapping is None:
+        return _as_values(execute(rule.code, attrs, canonical=canonical))
+    return mapping.evaluate(rule, attrs, canonical=canonical)
+
+
 @dataclass
 class Conflict:
     """A rule that disagrees with the frozen value of a target attribute."""
@@ -81,13 +99,6 @@ class ClosureResult:
         return [c for c in self.conflicts if not c.explicit]
 
 
-def _lookup(image: Mapping[str, list[str]], lower_name: str) -> list[str] | None:
-    for name, values in image.items():
-        if name.lower() == lower_name:
-            return values
-    return None
-
-
 class ClosureEngine:
     """Propagates attribute changes across every registered mapping."""
 
@@ -121,12 +132,26 @@ class ClosureEngine:
         unchanged context attributes.
         """
         schema = schema.lower()
-        images: dict[str, dict[str, list[str]]] = {}
+        # Work entirely on lower-keyed images: rule evaluation is then
+        # canonical (no per-call re-keying) and attribute lookups are
+        # O(1) dict probes instead of scans.  ``spellings`` remembers the
+        # display form of each attribute for the result images.
+        low_images: dict[str, dict[str, list[str]]] = {}
+        spellings: dict[str, dict[str, str]] = {}
+
+        def _store(schema_low: str, name: str, values: list[str]) -> None:
+            low_images.setdefault(schema_low, {})[name.lower()] = values
+            spellings.setdefault(schema_low, {})[name.lower()] = name
+
         if base_images:
             for name, image in base_images.items():
-                images[name.lower()] = dict(normalize_attrs(dict(image)) or {})
+                target_low = name.lower()
+                for attr, values in (normalize_attrs(dict(image)) or {}).items():
+                    _store(target_low, attr, values)
         start = dict(normalize_attrs(dict(attrs)) or {})
-        images.setdefault(schema, {}).update(start)
+        low_images.setdefault(schema, {})
+        for attr, values in start.items():
+            _store(schema, attr, values)
 
         changed_set = (
             frozenset(a.lower() for a in changed)
@@ -148,40 +173,48 @@ class ClosureEngine:
                     f"closure did not drain after {self.max_iterations} steps"
                 )
             source, dirty = pending.popleft()
-            source_image = images.get(source, {})
+            source_image = low_images.get(source, {})
             for mapping in self._by_source.get(source, []):
                 target = mapping.target.lower()
-                target_image = images.setdefault(target, {})
+                target_image = low_images.setdefault(target, {})
                 target_frozen = frozen.setdefault(target, set())
                 newly_dirty: set[str] = set()
                 for rule in mapping.rules_for(dirty):
                     attr = rule.target.lower()
                     if attr in target_frozen:
                         continue  # first-win / explicit protection
-                    values = _as_values(execute(rule.code, source_image))
+                    values = _rule_values(
+                        mapping, rule, source_image, canonical=True
+                    )
                     if values is None:
                         continue
-                    current = _lookup(target_image, attr)
+                    current = target_image.get(attr)
                     target_frozen.add(attr)
                     if current == values:
                         continue
                     # Keep the spelling of the rule's target attribute.
-                    for name in list(target_image):
-                        if name.lower() == attr:
-                            del target_image[name]
-                    target_image[rule.target] = values
+                    target_image[attr] = values
+                    spellings.setdefault(target, {})[attr] = rule.target
                     touched.setdefault(target, set()).add(attr)
                     newly_dirty.add(attr)
                 if newly_dirty:
                     pending.append((target, frozenset(newly_dirty)))
 
+        images = {
+            schema_low: {
+                spellings[schema_low][attr]: values
+                for attr, values in image.items()
+            }
+            for schema_low, image in low_images.items()
+        }
         result = ClosureResult(images, touched, iterations=iterations)
-        self._post_check(result, frozen, explicit_by_schema)
+        self._post_check(result, low_images, frozen, explicit_by_schema)
         return result
 
     def _post_check(
         self,
         result: ClosureResult,
+        low_images: dict[str, dict[str, list[str]]],
         frozen: dict[str, set[str]],
         explicit_by_schema: dict[str, set[str]],
     ) -> None:
@@ -189,21 +222,23 @@ class ClosureEngine:
         for mapping in self.mappings:
             source = mapping.source.lower()
             target = mapping.target.lower()
-            source_image = result.images.get(source)
+            source_image = low_images.get(source)
             if source_image is None:
                 continue
-            target_image = result.images.get(target, {})
+            target_image = low_images.get(target, {})
             target_frozen = frozen.get(target, set())
             for rule in mapping.rules:
                 attr = rule.target.lower()
                 if attr not in target_frozen:
                     continue
-                if not (rule.deps & {a.lower() for a in source_image}):
+                if not (rule.deps & source_image.keys()):
                     continue
-                values = _as_values(execute(rule.code, source_image))
+                values = _rule_values(
+                    mapping, rule, source_image, canonical=True
+                )
                 if values is None:
                     continue
-                current = _lookup(target_image, attr)
+                current = target_image.get(attr)
                 if current != values:
                     conflict = Conflict(
                         mapping=mapping.name,
@@ -265,7 +300,9 @@ def dependency_graph(mappings: Iterable[CompiledMapping]) -> "nx.DiGraph":
 
 
 def _apply_rule(rule: CompiledRule, dep: str, value: str) -> str | None:
-    values = _as_values(execute(rule.code, {dep: [value]}))
+    # Compile-time probing: no mapping mode in play, plain interpretation
+    # (``dep`` comes from rule.deps and is already lower-cased).
+    values = _rule_values(None, rule, {dep: [value]}, canonical=True)
     return values[0] if values else None
 
 

@@ -1,0 +1,640 @@
+"""Closure code generation: lexpress byte code → plain Python functions.
+
+The interpreter (:mod:`repro.lexpress.interpreter`) pays per-instruction
+dispatch on every rule evaluation; at millions of updates that loop is
+the hottest code in the system.  This module lowers a verified
+:class:`~repro.lexpress.bytecode.CodeObject` into one synthesized Python
+function (``exec``-compiled), so CPython's own eval loop runs the rule
+with no dispatch of ours on top:
+
+* the instruction stream is split into basic blocks (leaders: entry,
+  jump targets, fall-throughs of jumps and returns);
+* inside a block the VM stack is *symbolic* — every operand is a local
+  temp variable or an inlined literal, so straight-line runs of byte code
+  become straight-line Python with no list traffic at all;
+* only values that survive across block boundaries touch a real ``stack``
+  list, and a single-block body (the common case after the compiler's
+  constant folding and table interning) compiles to pure straight-line
+  code with no loop, no dispatch and no stack;
+* attribute names are inlined pre-lowered, regexes, interned tables and
+  ``each`` bodies are bound once as function globals.
+
+Safety: closures are only produced for code that passes the lexcheck
+byte-code verifier (:func:`repro.analysis.verifier.verify_code`) with no
+errors — the same gate that makes programmatically built code safe to
+interpret makes it safe to lower.  Rejected or uncompilable code falls
+back to the interpreter silently.  ``lexpress_mode="verify"`` runs both
+engines and raises :class:`~repro.lexpress.errors.LexpressDivergenceError`
+(with the rule's source span) on any disagreement.
+
+The process-wide :class:`CompiledRuleCache` (see :func:`rule_cache`)
+keys closures by ``(mapping, attribute)`` and validates entries against
+:meth:`CodeObject.fingerprint`, so recompiling a description naturally
+invalidates stale closures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..obs.metrics import global_registry
+from .bytecode import CodeObject, Op
+from .errors import (
+    LexpressDivergenceError,
+    LexpressRuntimeError,
+)
+from .functions import lookup
+from .interpreter import _equal, execute, lower_attrs, truthy
+
+Value = Any  # None | str | bool | list[str]
+
+#: The three values of ``MetaCommConfig.lexpress_mode``.
+MODES = ("interpret", "compiled", "verify")
+
+_registry = global_registry()
+_HITS = _registry.counter(
+    "metacomm_lexpress_cache_hits_total",
+    "Compiled-rule cache lookups served by an existing closure",
+)
+_MISSES = _registry.counter(
+    "metacomm_lexpress_cache_misses_total",
+    "Compiled-rule cache lookups that triggered a (re)compile",
+)
+_COMPILES = _registry.counter(
+    "metacomm_lexpress_compiles_total",
+    "Byte-code objects lowered to Python closures",
+)
+_COMPILE_SECONDS = _registry.counter(
+    "metacomm_lexpress_compile_seconds_total",
+    "Wall-clock seconds spent lowering byte code to closures",
+)
+_FALLBACKS = _registry.counter(
+    "metacomm_lexpress_fallbacks_total",
+    "Code objects the verifier gate (or codegen) rejected; served "
+    "by the interpreter instead",
+)
+_DIVERGENCES = _registry.counter(
+    "metacomm_lexpress_divergences_total",
+    "verify-mode evaluations where the closure disagreed with the "
+    "interpreter",
+)
+
+
+# ---------------------------------------------------------------------------
+# Closure runtime
+# ---------------------------------------------------------------------------
+
+
+class _CFrame:
+    """Per-evaluation state a closure threads through its helpers."""
+
+    __slots__ = ("groups", "value")
+
+    def __init__(self):
+        self.groups: Sequence[str | None] = ()
+        self.value: Value = None
+
+
+class _Miss:
+    """Sentinel distinguishing a table miss from a stored None."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "<miss>"
+
+
+_MISS = _Miss()
+
+
+def _each_apply(
+    body: Callable[[Mapping[str, Sequence[str]], _CFrame], Value],
+    values: Value,
+    attrs: Mapping[str, Sequence[str]],
+) -> list[str]:
+    """Runtime mirror of the interpreter's EACH_APPLY normalization."""
+    if values is None:
+        values = []
+    elif not isinstance(values, list):
+        values = [values]
+    out: list[str] = []
+    frame = _CFrame()
+    for element in values:
+        frame.groups = ()
+        frame.value = str(element)
+        result = body(attrs, frame)
+        if result is None:
+            continue
+        if isinstance(result, list):
+            out.extend(str(r) for r in result)
+        elif isinstance(result, bool):
+            out.append("true" if result else "false")
+        else:
+            out.append(str(result))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+_JUMPS = (Op.JUMP, Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE)
+
+
+@dataclass(frozen=True)
+class CompiledClosure:
+    """A byte-code object lowered to one Python function.
+
+    ``fn(attrs, frame)`` expects *canonical* (lower-keyed) attrs and a
+    :class:`_CFrame`; it returns the same value domain as
+    :func:`~repro.lexpress.interpreter.execute`.  ``source`` is the
+    synthesized Python text, kept for inspection and tests."""
+
+    name: str
+    fn: Callable[[Mapping[str, Sequence[str]], _CFrame], Value]
+    source: str
+    fingerprint: str
+
+
+class _ClosureEmitter:
+    """Lowers one CodeObject; see the module docstring for the scheme."""
+
+    def __init__(self, code: CodeObject):
+        self.code = code
+        self.globals: dict[str, Any] = {
+            "_F": lookup,
+            "_tr": truthy,
+            "_eq": _equal,
+            "_each": _each_apply,
+            "_RTErr": LexpressRuntimeError,
+            "_MISS": _MISS,
+        }
+        self.counter = 0
+        self.lines: list[str] = []
+        self.indent = 1
+        self.sym: list[str] = []
+        #: Temps provably bool: their truthiness tests skip _tr().
+        self.bools: set[str] = set()
+
+    # -- small helpers ------------------------------------------------------
+
+    def _temp(self) -> str:
+        self.counter += 1
+        return f"_t{self.counter}"
+
+    def _line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def _pop(self) -> str:
+        self._need(1)
+        return self.sym.pop()
+
+    def _need(self, depth: int) -> None:
+        """Materialize runtime-stack values the block inherited."""
+        while len(self.sym) < depth:
+            temp = self._temp()
+            self._line(f"{temp} = stack.pop()")
+            self.sym.insert(0, temp)
+
+    def _flush(self) -> None:
+        for entry in self.sym:
+            self._line(f"stack.append({entry})")
+        self.sym.clear()
+
+    def _truth(self, expr: str) -> str:
+        if expr in self.bools or expr in ("True", "False"):
+            return expr
+        return f"_tr({expr})"
+
+    def _bind(self, prefix: str, index: int, value: Any) -> str:
+        name = f"{prefix}{index}"
+        self.globals[name] = value
+        return name
+
+    # -- driver -------------------------------------------------------------
+
+    def emit(self) -> tuple[str, dict[str, Any]]:
+        instructions = self.code.instructions
+        if not instructions:
+            raise LexpressRuntimeError(
+                f"cannot lower empty code object {self.code.name!r}"
+            )
+        leaders = {0}
+        for pc, ins in enumerate(instructions):
+            if ins.op in _JUMPS:
+                leaders.add(ins.arg)
+                leaders.add(pc + 1)
+            elif ins.op is Op.RETURN:
+                leaders.add(pc + 1)
+        leaders.discard(len(instructions))
+        blocks = sorted(leaders)
+
+        self.lines.append("def _closure(attrs, frame):")
+        if blocks == [0]:
+            self._emit_block(0, len(instructions), single=True)
+        else:
+            self._line("stack = []")
+            self._line("_b = 0")
+            self._line("while True:")
+            self.indent += 1
+            for i, start in enumerate(blocks):
+                end = blocks[i + 1] if i + 1 < len(blocks) else len(instructions)
+                keyword = "if" if i == 0 else "elif"
+                self._line(f"{keyword} _b == {start}:")
+                self.indent += 1
+                self._emit_block(start, end, single=False)
+                self.indent -= 1
+            self.indent -= 1
+        return "\n".join(self.lines), self.globals
+
+    def _emit_block(self, start: int, end: int, single: bool) -> None:
+        self.sym.clear()
+        self.bools.clear()
+        instructions = self.code.instructions
+        consts = self.code.consts
+        attr_keys = self.code.attr_keys()
+        pc = start
+        while pc < end:
+            ins = instructions[pc]
+            op = ins.op
+            pc += 1
+            if op is Op.PUSH:
+                const = consts[ins.arg]
+                if const is None or isinstance(const, (str, bool)):
+                    self.sym.append(repr(const))
+                    if isinstance(const, bool):
+                        self.bools.add(repr(const))
+                else:  # programmatic code can push anything
+                    self.sym.append(self._bind("_K", ins.arg, const))
+            elif op is Op.LOAD_ATTR:
+                temp = self._temp()
+                self._line(f"{temp} = attrs.get({attr_keys[ins.arg]!r})")
+                self._line(f"{temp} = str({temp}[0]) if {temp} else None")
+                self.sym.append(temp)
+            elif op is Op.LOAD_ALL:
+                temp = self._temp()
+                self._line(
+                    f"{temp} = [str(_v) for _v in "
+                    f"attrs.get({attr_keys[ins.arg]!r}, ())]"
+                )
+                self.sym.append(temp)
+            elif op is Op.LOAD_GROUP:
+                temp = self._temp()
+                index = ins.arg
+                self._line(
+                    f"{temp} = frame.groups[{index}] "
+                    f"if {index} < len(frame.groups) else None"
+                )
+                self.sym.append(temp)
+            elif op is Op.LOAD_VALUE:
+                temp = self._temp()
+                self._line(f"{temp} = frame.value")
+                self.sym.append(temp)
+            elif op is Op.CALL:
+                name_idx, argc = ins.arg
+                fn_name = consts[name_idx]
+                self._need(argc)
+                args = self.sym[len(self.sym) - argc:] if argc else []
+                del self.sym[len(self.sym) - argc:]
+                temp = self._temp()
+                self._line("try:")
+                self._line(f"    {temp} = _F({fn_name!r})({', '.join(args)})")
+                self._line("except TypeError as _e:")
+                self._line(
+                    f"    raise _RTErr(f{fn_name + ': {_e}'!r}) from None"
+                )
+                self.sym.append(temp)
+            elif op is Op.MATCH_RE:
+                subject = self._pop()
+                regex = self._bind("_R", ins.arg, consts[ins.arg])
+                temp, match = self._temp(), self._temp()
+                self._line(f"if {subject} is None:")
+                self._line(f"    {temp} = False")
+                self._line("else:")
+                self._line(f"    {match} = {regex}.search(str({subject}))")
+                self._line(f"    if {match} is None:")
+                self._line(f"        {temp} = False")
+                self._line("    else:")
+                self._line(
+                    f"        frame.groups = "
+                    f"[{match}.group(0), *{match}.groups()]"
+                )
+                self._line(f"        {temp} = True")
+                self.sym.append(temp)
+                self.bools.add(temp)
+            elif op is Op.MATCH_LIT:
+                subject = self._pop()
+                text, temp = self._temp(), self._temp()
+                self._line(
+                    f"{text} = None if {subject} is None else str({subject})"
+                )
+                self._line(f"{temp} = {text} == {consts[ins.arg]!r}")
+                self._line(f"if {temp}:")
+                self._line(f"    frame.groups = [{text}]")
+                self.sym.append(temp)
+                self.bools.add(temp)
+            elif op is Op.TABLE_CONST:
+                subject = self._pop()
+                table, default = consts[ins.arg]
+                table_g = self._bind("_T", ins.arg, table)
+                default_g = self._bind("_D", ins.arg, default)
+                text, temp = self._temp(), self._temp()
+                self._line(f"if {subject} is None:")
+                self._line(f"    {temp} = {default_g}")
+                self._line("else:")
+                self._line(f"    {text} = str({subject})")
+                self._line(f"    {temp} = {table_g}.get({text}, _MISS)")
+                self._line(f"    if {temp} is _MISS:")
+                self._line(f"        {temp} = {default_g}")
+                self._line("    else:")
+                self._line(f"        frame.groups = [{text}]")
+                self.sym.append(temp)
+            elif op is Op.EACH_APPLY:
+                subject = self._pop()
+                body = compile_closure(consts[ins.arg])
+                body_g = self._bind("_B", ins.arg, body.fn)
+                temp = self._temp()
+                self._line(f"{temp} = _each({body_g}, {subject}, attrs)")
+                self.sym.append(temp)
+            elif op is Op.DUP:
+                self._need(1)
+                self.sym.append(self.sym[-1])
+            elif op is Op.POP:
+                self._pop()
+            elif op is Op.IS_NULL:
+                operand = self._pop()
+                temp = self._temp()
+                self._line(f"{temp} = {operand} is None")
+                self.sym.append(temp)
+                self.bools.add(temp)
+            elif op in (Op.EQ, Op.NEQ):
+                self._need(2)
+                right, left = self.sym.pop(), self.sym.pop()
+                temp = self._temp()
+                negate = "not " if op is Op.NEQ else ""
+                self._line(f"{temp} = {negate}_eq({left}, {right})")
+                self.sym.append(temp)
+                self.bools.add(temp)
+            elif op is Op.NOT:
+                operand = self._pop()
+                temp = self._temp()
+                self._line(f"{temp} = not {self._truth(operand)}")
+                self.sym.append(temp)
+                self.bools.add(temp)
+            elif op is Op.JUMP:
+                self._flush()
+                self._line(f"_b = {ins.arg}")
+                self._line("continue")
+                return
+            elif op in (Op.JUMP_IF_FALSE, Op.JUMP_IF_TRUE):
+                condition = self._pop()
+                self._flush()
+                negate = "not " if op is Op.JUMP_IF_FALSE else ""
+                self._line(f"if {negate}{self._truth(condition)}:")
+                self._line(f"    _b = {ins.arg}")
+                self._line("    continue")
+                self._line(f"_b = {pc}")
+                self._line("continue")
+                return
+            elif op is Op.RETURN:
+                if self.sym:
+                    self._line(f"return {self.sym.pop()}")
+                elif single:
+                    self._line("return None")
+                else:
+                    self._line("return stack.pop() if stack else None")
+                return
+            else:  # pragma: no cover - verifier gate rejects unknown ops
+                raise LexpressRuntimeError(f"cannot lower opcode {op}")
+        # Fell through to the next leader.
+        self._flush()
+        self._line(f"_b = {end}")
+        self._line("continue")
+
+
+def compile_closure(code: CodeObject, name: str | None = None) -> CompiledClosure:
+    """Lower one (verified) code object to a Python closure.
+
+    Raises :class:`LexpressRuntimeError` for code that cannot be lowered
+    (empty sentinels, unknown opcodes).  Callers wanting the safety gate
+    should go through :class:`CompiledRuleCache`, which verifies first and
+    falls back to the interpreter on rejection."""
+    emitter = _ClosureEmitter(code)
+    source, namespace = emitter.emit()
+    label = name or code.name or "<lexpress>"
+    compiled = compile(source, f"<lexpress-codegen:{label}>", "exec")
+    exec(compiled, namespace)
+    return CompiledClosure(
+        name=label,
+        fn=namespace["_closure"],
+        source=source,
+        fingerprint=code.fingerprint(),
+    )
+
+
+def verified_compile(
+    code: CodeObject, mapping: str = "", attribute: str | None = None
+) -> CompiledClosure | None:
+    """Run the lexcheck verifier gate, then lower; None when rejected.
+
+    Only ``Severity.ERROR`` diagnostics block lowering — warnings (dead
+    arms, degenerate calls) are lint findings, not soundness holes."""
+    # Deferred import: repro.analysis imports repro.lexpress at top level.
+    from ..analysis.diagnostics import Severity
+    from ..analysis.verifier import verify_code
+
+    diagnostics = verify_code(code, mapping, attribute)
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        return None
+    try:
+        return compile_closure(code, name=f"{mapping}.{attribute or code.name}")
+    except LexpressRuntimeError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The process-wide compiled-rule cache
+# ---------------------------------------------------------------------------
+
+
+class CompiledRuleCache:
+    """Thread-safe cache of lowered rules, keyed by (mapping, attribute).
+
+    Entries carry the source code object's fingerprint; a lookup with a
+    different fingerprint (a recompiled description, a patched code
+    object) recompiles and replaces the entry, so invalidation is
+    automatic.  ``None`` closures record verifier rejections — those keys
+    are served by the interpreter without re-verifying every call."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[
+            tuple[str, str], tuple[str, CompiledClosure | None]
+        ] = {}
+        self._listeners: tuple[Callable[[dict], None], ...] = ()
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+        self.rejected = 0
+        self.compile_seconds = 0.0
+
+    def get_or_compile(
+        self, mapping: str, attribute: str, code: CodeObject
+    ) -> CompiledClosure | None:
+        key = (mapping, attribute)
+        fingerprint = code.fingerprint()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == fingerprint:
+                self.hits += 1
+                _HITS.inc()
+                return entry[1]
+            self.misses += 1
+        _MISSES.inc()
+
+        started = time.perf_counter()
+        closure = verified_compile(code, mapping, attribute)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._entries[key] = (fingerprint, closure)
+            self.compile_seconds += elapsed
+            if closure is None:
+                self.rejected += 1
+            else:
+                self.compiles += 1
+            listeners = self._listeners
+        _COMPILE_SECONDS.inc(elapsed)
+        if closure is None:
+            _FALLBACKS.inc()
+        else:
+            _COMPILES.inc()
+        event = {
+            "mapping": mapping,
+            "attribute": attribute,
+            "status": "compiled" if closure is not None else "rejected",
+            "seconds": elapsed,
+            "fingerprint": fingerprint[:12],
+        }
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception:  # pragma: no cover - listeners are best-effort
+                pass
+        return closure
+
+    # -- observability -------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[dict], None]) -> None:
+        """Call *listener* with an event dict after every (re)compile."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners = self._listeners + (listener,)
+
+    def unsubscribe(self, listener: Callable[[dict], None]) -> None:
+        with self._lock:
+            self._listeners = tuple(
+                entry for entry in self._listeners if entry is not listener
+            )
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "compiles": self.compiles,
+                "rejected": self.rejected,
+                "compile_seconds": self.compile_seconds,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.compiles = self.rejected = 0
+            self.compile_seconds = 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_CACHE = CompiledRuleCache()
+
+
+def rule_cache() -> CompiledRuleCache:
+    """The process-wide compiled-rule cache."""
+    return _CACHE
+
+
+# ---------------------------------------------------------------------------
+# Mode dispatch
+# ---------------------------------------------------------------------------
+
+_TLS = threading.local()
+
+
+def _frame() -> _CFrame:
+    frame = getattr(_TLS, "frame", None)
+    if frame is None:
+        frame = _TLS.frame = _CFrame()
+    return frame
+
+
+def run_rule(
+    code: CodeObject,
+    attrs: Mapping[str, Sequence[str]],
+    value: Value = None,
+    *,
+    mapping: str = "",
+    attribute: str = "",
+    mode: str | None = None,
+    canonical: bool = False,
+) -> Value:
+    """Evaluate one rule under *mode* (None or "interpret" = interpreter).
+
+    The drop-in replacement for :func:`execute` on the mapping/closure
+    hot paths: "compiled" serves the evaluation from the process cache
+    (falling back to the interpreter when the verifier rejected the
+    code), "verify" runs both engines and raises
+    :class:`LexpressDivergenceError` on disagreement."""
+    if mode is None or mode == "interpret":
+        return execute(code, attrs, value, canonical=canonical)
+
+    closure = _CACHE.get_or_compile(mapping, attribute, code)
+    if closure is None:
+        return execute(code, attrs, value, canonical=canonical)
+
+    if not canonical:
+        attrs = lower_attrs(attrs)
+    if mode == "compiled":
+        frame = _frame()
+        frame.groups = ()
+        frame.value = value
+        return closure.fn(attrs, frame)
+
+    if mode == "verify":
+        interpreted = execute(code, attrs, value, canonical=True)
+        frame = _frame()
+        frame.groups = ()
+        frame.value = value
+        compiled_value = closure.fn(attrs, frame)
+        if interpreted != compiled_value or type(interpreted) is not type(
+            compiled_value
+        ):
+            _DIVERGENCES.inc()
+            raise LexpressDivergenceError(
+                mapping,
+                attribute,
+                interpreted,
+                compiled_value,
+                span=code.span,
+            )
+        return interpreted
+
+    raise ValueError(
+        f"unknown lexpress_mode {mode!r} (expected one of {', '.join(MODES)})"
+    )

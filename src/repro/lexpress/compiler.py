@@ -21,13 +21,16 @@ from .ast import (
     GroupRef,
     Literal,
     Match,
+    MatchArm,
     NotOp,
     Table,
+    TableEntry,
     ValueRef,
 )
 from .bytecode import CodeObject, Op
 from .errors import LexpressCompileError
-from .functions import known_functions
+from .functions import known_functions, lookup
+from .interpreter import _equal, truthy
 
 
 # Functions whose arguments should see *all* values of a multi-valued
@@ -45,13 +48,262 @@ _LIST_ARG_FUNCTIONS: dict[str, set[int] | str] = {
     "ifnull": {0},
 }
 
+# ---------------------------------------------------------------------------
+# Constant-folding / dead-branch pre-pass
+# ---------------------------------------------------------------------------
+
+#: Builtins safe to evaluate at compile time.  ``register()`` is a public
+#: extension point, so user functions are never folded — they may be impure
+#: or not yet registered when the description is compiled.
+_PURE_FUNCTIONS = frozenset({
+    "concat", "upper", "lower", "trim", "substr", "replace", "pad",
+    "digits", "prefix", "suffix", "contains", "matches", "present",
+    "empty", "alt", "ifnull", "split", "join", "first", "last", "count",
+})
+
+
+def _has_groupref(expr: Expr) -> bool:
+    """Does *expr* read a capture group of the enclosing frame?
+
+    The walk stops at ``each`` nodes: their bodies run in a sub-frame with
+    fresh groups, so a ``$n`` inside one never observes the outer match."""
+    if isinstance(expr, GroupRef):
+        return True
+    if isinstance(expr, Each):
+        return False
+    if isinstance(expr, Call):
+        return any(_has_groupref(a) for a in expr.args)
+    if isinstance(expr, (Compare, BoolOp)):
+        return _has_groupref(expr.left) or _has_groupref(expr.right)
+    if isinstance(expr, NotOp):
+        return _has_groupref(expr.operand)
+    if isinstance(expr, Match):
+        return _has_groupref(expr.subject) or any(
+            _has_groupref(arm.body) for arm in expr.arms
+        )
+    if isinstance(expr, Table):
+        return (
+            _has_groupref(expr.subject)
+            or any(_has_groupref(e.body) for e in expr.entries)
+            or (expr.default is not None and _has_groupref(expr.default))
+        )
+    return False
+
+
+def _bool_kinded(expr: Expr) -> bool:
+    """Is *expr* provably BOOL under lexcheck's value-kind lattice?
+
+    A bool subject can only ever ``str()`` to ``"True"``/``"False"``, so
+    literal match arms and table entries with any other key are dead."""
+    if isinstance(expr, (Compare, NotOp, BoolOp)):
+        return True
+    if isinstance(expr, Literal):
+        return isinstance(expr.value, bool)
+    if isinstance(expr, Call):
+        try:  # deferred: repro.analysis imports repro.lexpress at top level
+            from ..analysis.verifier import BOOL, _RESULT_KINDS
+        except ImportError:  # pragma: no cover - analysis always ships
+            return False
+        return _RESULT_KINDS.get(expr.function) == BOOL
+    return False
+
+
+def _as_literal(value) -> Literal | None:
+    """Wrap a runtime value in a Literal node, or None if it can't be."""
+    if value is None or isinstance(value, (str, bool)):
+        return Literal(value)
+    return None
+
+
+class _Folder:
+    """One constant-folding walk over an expression tree.
+
+    ``group_free`` is true when the *whole* top-level expression contains
+    no :class:`GroupRef` (outside ``each`` bodies): only then may a match
+    or table arm whose pattern provably hits be replaced by its body,
+    because the hit also assigns ``frame.groups`` and something downstream
+    could read them.  Reductions that never touch groups — null subjects,
+    dropping arms that provably miss, folding pure calls — are applied
+    unconditionally."""
+
+    def __init__(self, group_free: bool):
+        self.group_free = group_free
+
+    def fold(self, expr: Expr) -> Expr:
+        if isinstance(expr, Call):
+            return self._fold_call(expr)
+        if isinstance(expr, Compare):
+            left, right = self.fold(expr.left), self.fold(expr.right)
+            if isinstance(left, Literal) and isinstance(right, Literal):
+                result = _equal(left.value, right.value)
+                return Literal(
+                    result if expr.op == "==" else not result, span=expr.span
+                )
+            return Compare(expr.op, left, right, span=expr.span)
+        if isinstance(expr, NotOp):
+            operand = self.fold(expr.operand)
+            if isinstance(operand, Literal):
+                return Literal(not truthy(operand.value), span=expr.span)
+            return NotOp(operand, span=expr.span)
+        if isinstance(expr, BoolOp):
+            return self._fold_bool(expr)
+        if isinstance(expr, Match):
+            return self._fold_match(expr)
+        if isinstance(expr, Table):
+            return self._fold_table(expr)
+        if isinstance(expr, Each):
+            body = _Folder(not _has_groupref(expr.body)).fold(expr.body)
+            return Each(expr.attribute, body, span=expr.span)
+        return expr
+
+    def _fold_call(self, expr: Call) -> Expr:
+        args = tuple(self.fold(a) for a in expr.args)
+        if expr.function in _PURE_FUNCTIONS and all(
+            isinstance(a, Literal) for a in args
+        ):
+            try:
+                fn = lookup(expr.function)
+                value = fn(*[a.value for a in args])
+            except Exception:
+                # Leave the call in place so the runtime error (or a
+                # lexcheck diagnostic) surfaces where the author wrote it.
+                value = _Folder  # sentinel: not a runtime value
+            folded = _as_literal(value)
+            if folded is not None:
+                return Literal(folded.value, span=expr.span)
+        return Call(expr.function, args, span=expr.span)
+
+    def _fold_bool(self, expr: BoolOp) -> Expr:
+        left, right = self.fold(expr.left), self.fold(expr.right)
+        if isinstance(left, Literal):
+            # Short-circuit decided at compile time.  The surviving right
+            # side still needs bool coercion, which NOT NOT provides while
+            # preserving its evaluation (errors, group writes).
+            decided = truthy(left.value)
+            if expr.op == "and":
+                return self._truthy(right, expr) if decided else Literal(
+                    False, span=expr.span
+                )
+            return Literal(True, span=expr.span) if decided else self._truthy(
+                right, expr
+            )
+        # A literal *right* side cannot simplify anything: the left side is
+        # always evaluated first and its effects must be kept.
+        return BoolOp(expr.op, left, right, span=expr.span)
+
+    @staticmethod
+    def _truthy(expr: Expr, parent: BoolOp) -> Expr:
+        if isinstance(expr, Literal):
+            return Literal(truthy(expr.value), span=parent.span)
+        if isinstance(expr, (Compare, NotOp, BoolOp)):
+            return expr  # already pushes a bool
+        return NotOp(NotOp(expr, span=parent.span), span=parent.span)
+
+    def _fold_match(self, expr: Match) -> Expr:
+        subject = self.fold(expr.subject)
+        # Arms beyond the first wildcard are unreachable and never even
+        # regex-compiled by the emitter; mirror that boundary exactly.
+        arms = []
+        for arm in expr.arms:
+            arms.append(MatchArm(
+                arm.pattern, self.fold(arm.body), arm.literal, span=arm.span
+            ))
+            if arm.pattern is None:
+                break
+
+        if isinstance(subject, Literal):
+            reduced = self._reduce_arms(subject.value, arms, expr)
+            if reduced is not None:
+                return reduced
+        elif _bool_kinded(subject):
+            arms = [
+                arm for arm in arms
+                if not (arm.literal and arm.pattern not in ("True", "False"))
+            ]
+        return Match(subject, tuple(arms), span=expr.span)
+
+    def _reduce_arms(
+        self, value, arms: list[MatchArm], expr: Match
+    ) -> Expr | None:
+        """Resolve a literal-subject match at compile time (or None)."""
+        # A bad regex is a *compile* error even on arms a literal subject
+        # would never reach; only reduce once every reachable arm compiles.
+        compiled = {}
+        for arm in arms:
+            if arm.pattern is not None and not arm.literal:
+                try:
+                    compiled[arm.pattern] = re.compile(arm.pattern)
+                except re.error:
+                    return None
+        if value is None:
+            # Nothing matches null and no groups are written: the result
+            # is the wildcard body, or null.
+            for arm in arms:
+                if arm.pattern is None:
+                    return arm.body
+            return Literal(None, span=expr.span)
+        text = str(value)
+        survivors: list[MatchArm] = []
+        for arm in arms:
+            if arm.pattern is None:
+                if survivors:
+                    break  # wildcard stays as the fallback of kept arms
+                return arm.body  # first hit consumes no groups
+            hit = (
+                text == arm.pattern
+                if arm.literal
+                else compiled[arm.pattern].search(text) is not None
+            )
+            if not hit:
+                continue  # a missing arm writes no groups: always dead
+            if self.group_free:
+                return arm.body
+            survivors.append(arm)  # hit writes groups: keep the machinery
+            break
+        if not survivors:
+            return Literal(None, span=expr.span)
+        return Match(Literal(value, span=expr.span), tuple(survivors),
+                     span=expr.span)
+
+    def _fold_table(self, expr: Table) -> Expr:
+        subject = self.fold(expr.subject)
+        entries = [
+            TableEntry(e.key, self.fold(e.body), span=e.span)
+            for e in expr.entries
+        ]
+        default = self.fold(expr.default) if expr.default is not None else None
+
+        if isinstance(subject, Literal):
+            if subject.value is None:
+                return default if default is not None else Literal(
+                    None, span=expr.span
+                )
+            text = str(subject.value)
+            hits = [e for e in entries if e.key == text]
+            if not hits:
+                return default if default is not None else Literal(
+                    None, span=expr.span
+                )
+            if self.group_free:
+                return hits[0].body
+            entries = hits[:1]
+        elif _bool_kinded(subject):
+            entries = [e for e in entries if e.key in ("True", "False")]
+        return Table(subject, tuple(entries), default, span=expr.span)
+
+
+def optimize_expr(expr: Expr) -> Expr:
+    """Constant folding + dead-branch elimination over one expression."""
+    return _Folder(not _has_groupref(expr)).fold(expr)
+
 
 class ExprCompiler:
     """Compiles one expression into one CodeObject."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, optimize: bool = True):
         self.code = CodeObject(name)
         self.deps: set[str] = set()
+        self.optimize = optimize
 
     def compile(self, expr: Expr) -> CodeObject:
         self.code.span = expr.span
@@ -136,8 +388,49 @@ class ExprCompiler:
         self.code.emit(Op.PUSH, self.code.const(expr.op != "and"))
         self.code.patch(done, len(self.code))
 
+    def _intern_arms(
+        self,
+        pairs: list[tuple[str, Expr]],
+        default: Expr | None,
+    ) -> bool:
+        """Try to emit a literal-keyed arm chain as one TABLE_CONST.
+
+        All bodies (and the default) must be literals; the subject is
+        assumed already on the stack.  First key wins, mirroring the
+        sequential arm chain.  Returns True when interned."""
+        if not self.optimize:
+            return False
+        if not all(isinstance(body, Literal) for _, body in pairs):
+            return False
+        if default is not None and not isinstance(default, Literal):
+            return False
+        table: dict[str, str | bool | None] = {}
+        for key, body in pairs:
+            if key not in table:
+                table[key] = body.value  # type: ignore[union-attr]
+        fallback = default.value if isinstance(default, Literal) else None
+        self.code.emit(
+            Op.TABLE_CONST, self.code.const((table, fallback))
+        )
+        return True
+
     def _emit_match(self, expr: Match) -> None:
         self._emit_expr(expr.subject)
+        # `p => v` chains where every reachable arm is a literal pattern
+        # with a literal body collapse into one dict probe.  A trailing
+        # wildcard with a literal body becomes the default.
+        literal_prefix: list[tuple[str, Expr]] = []
+        for arm in expr.arms:
+            if arm.pattern is None:
+                if self._intern_arms(literal_prefix, arm.body):
+                    return
+                break
+            if not (arm.literal and isinstance(arm.body, Literal)):
+                break
+            literal_prefix.append((arm.pattern, arm.body))
+        else:
+            if self._intern_arms(literal_prefix, None):
+                return
         end_jumps: list[int] = []
         fell_through = True
         for arm in expr.arms:
@@ -172,6 +465,10 @@ class ExprCompiler:
 
     def _emit_table(self, expr: Table) -> None:
         self._emit_expr(expr.subject)
+        if self._intern_arms(
+            [(e.key, e.body) for e in expr.entries], expr.default
+        ):
+            return
         end_jumps: list[int] = []
         for entry in expr.entries:
             self.code.emit(Op.DUP)
@@ -191,12 +488,26 @@ class ExprCompiler:
 
     def _emit_each(self, expr: Each) -> None:
         self.deps.add(expr.attribute.lower())
-        body = compile_expr(expr.body, f"{self.code.name}:each")
+        # The folding pre-pass already optimized each bodies in place;
+        # don't re-run it, just inherit the interning setting.
+        body = ExprCompiler(
+            f"{self.code.name}:each", optimize=self.optimize
+        ).compile(expr.body)
         self.deps.update(body.deps)
         self.code.emit(Op.LOAD_ALL, self.code.const(expr.attribute))
         self.code.emit(Op.EACH_APPLY, self.code.const(body))
 
 
-def compile_expr(expr: Expr, name: str = "<expr>") -> CodeObject:
-    """Compile a single expression AST into byte code."""
-    return ExprCompiler(name).compile(expr)
+def compile_expr(
+    expr: Expr, name: str = "<expr>", optimize: bool = True
+) -> CodeObject:
+    """Compile a single expression AST into byte code.
+
+    ``optimize=True`` (the default) first runs :func:`optimize_expr` —
+    constant folding, dead-arm elimination, table interning — producing
+    code the closure generator (:mod:`repro.lexpress.codegen`) can lower
+    aggressively.  ``optimize=False`` emits the naive instruction-per-node
+    translation, kept for differential testing."""
+    if optimize:
+        expr = optimize_expr(expr)
+    return ExprCompiler(name, optimize).compile(expr)

@@ -4,10 +4,20 @@ Executes a :class:`~repro.lexpress.bytecode.CodeObject` against a source
 record (a mapping from attribute name to list of string values).  The
 compiler and interpreter together form the "subroutine library that can be
 called from any program" of paper section 4.2.
+
+This module is the reference semantics: the closure compiler
+(:mod:`repro.lexpress.codegen`) must produce byte-for-byte identical
+values, and ``lexpress_mode="verify"`` runs both engines and asserts it.
+The hot path is kept honest for that comparison — frames come from a
+per-thread pool instead of being allocated per call, attribute-name
+lowering is hoisted to :meth:`CodeObject.attr_keys`, and callers that
+already hold a canonical (lower-keyed) record pass ``canonical=True`` to
+skip re-lowering entirely.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Mapping, Sequence
 
 from ..obs.metrics import global_registry
@@ -41,21 +51,67 @@ def truthy(value: Value) -> bool:
 class _Frame:
     __slots__ = ("attrs", "groups", "value")
 
-    def __init__(self, attrs: Mapping[str, Sequence[str]], value: Value = None):
-        # Attribute lookup is case-insensitive, like LDAP itself.
-        self.attrs = {k.lower(): list(v) for k, v in attrs.items()}
+    def __init__(self):
+        self.attrs: Mapping[str, Sequence[str]] = {}
         self.groups: list[str | None] = []
-        self.value = value
+        self.value: Value = None
+
+
+#: Per-thread frame pool: `execute` is called once per rule evaluation on
+#: the Update Manager hot path; reusing frames avoids one allocation plus
+#: slot initialization per call.
+_LOCAL = threading.local()
+_POOL_LIMIT = 16
+
+
+def _acquire() -> _Frame:
+    pool = getattr(_LOCAL, "frames", None)
+    if pool:
+        return pool.pop()
+    return _Frame()
+
+
+def _release(frame: _Frame) -> None:
+    pool = getattr(_LOCAL, "frames", None)
+    if pool is None:
+        pool = _LOCAL.frames = []
+    if len(pool) < _POOL_LIMIT:
+        frame.attrs = {}
+        frame.value = None
+        pool.append(frame)
+
+
+def lower_attrs(
+    attrs: Mapping[str, Sequence[str]],
+) -> dict[str, Sequence[str]]:
+    """Canonical execution view of a record: lower-cased attribute keys.
+
+    Values are shared, not copied — the interpreter and compiled closures
+    only ever read them (and coerce elements with ``str`` on load)."""
+    return {k.lower(): v for k, v in attrs.items()}
 
 
 def execute(
     code: CodeObject,
     attrs: Mapping[str, Sequence[str]],
     value: Value = None,
+    *,
+    canonical: bool = False,
 ) -> Value:
-    """Run *code* against the source record *attrs* and return its value."""
-    frame = _Frame(attrs, value)
-    return _run(code, frame)
+    """Run *code* against the source record *attrs* and return its value.
+
+    ``canonical=True`` promises that *attrs* already has lower-cased keys
+    (e.g. from :func:`lower_attrs`), skipping the per-call re-keying —
+    the big win for callers that evaluate many rules against one record.
+    """
+    frame = _acquire()
+    frame.attrs = attrs if canonical else lower_attrs(attrs)
+    frame.groups = []
+    frame.value = value
+    try:
+        return _run(code, frame)
+    finally:
+        _release(frame)
 
 
 def _run(code: CodeObject, frame: _Frame) -> Value:
@@ -64,6 +120,7 @@ def _run(code: CodeObject, frame: _Frame) -> Value:
     executed = 0
     instructions = code.instructions
     consts = code.consts
+    attr_keys = code.attr_keys()
     try:
         while pc < len(instructions):
             ins = instructions[pc]
@@ -73,10 +130,10 @@ def _run(code: CodeObject, frame: _Frame) -> Value:
             if op is Op.PUSH:
                 stack.append(consts[ins.arg])
             elif op is Op.LOAD_ATTR:
-                values = frame.attrs.get(consts[ins.arg].lower(), [])
+                values = frame.attrs.get(attr_keys[ins.arg], ())
                 stack.append(str(values[0]) if values else None)
             elif op is Op.LOAD_ALL:
-                values = frame.attrs.get(consts[ins.arg].lower(), [])
+                values = frame.attrs.get(attr_keys[ins.arg], ())
                 stack.append([str(v) for v in values])
             elif op is Op.LOAD_GROUP:
                 index = ins.arg
@@ -118,6 +175,18 @@ def _run(code: CodeObject, frame: _Frame) -> Value:
                 if matched:
                     frame.groups = [str(subject)]
                 stack.append(matched)
+            elif op is Op.TABLE_CONST:
+                subject = stack.pop()
+                table, default = consts[ins.arg]
+                if subject is None:
+                    stack.append(default)
+                else:
+                    text = str(subject)
+                    if text in table:
+                        frame.groups = [text]
+                        stack.append(table[text])
+                    else:
+                        stack.append(default)
             elif op is Op.EACH_APPLY:
                 body: CodeObject = consts[ins.arg]
                 values = stack.pop()
@@ -126,18 +195,23 @@ def _run(code: CodeObject, frame: _Frame) -> Value:
                 if not isinstance(values, list):
                     values = [values]
                 results: list[str] = []
-                for element in values:
-                    sub = _Frame(frame.attrs, str(element))
-                    sub.attrs = frame.attrs  # share, no copy needed
-                    result = _run(body, sub)
-                    if result is None:
-                        continue
-                    if isinstance(result, list):
-                        results.extend(str(r) for r in result)
-                    elif isinstance(result, bool):
-                        results.append("true" if result else "false")
-                    else:
-                        results.append(str(result))
+                sub = _acquire()
+                sub.attrs = frame.attrs  # share, no copy needed
+                try:
+                    for element in values:
+                        sub.groups = []
+                        sub.value = str(element)
+                        result = _run(body, sub)
+                        if result is None:
+                            continue
+                        if isinstance(result, list):
+                            results.extend(str(r) for r in result)
+                        elif isinstance(result, bool):
+                            results.append("true" if result else "false")
+                        else:
+                            results.append(str(result))
+                finally:
+                    _release(sub)
                 stack.append(results)
             elif op is Op.DUP:
                 stack.append(stack[-1])

@@ -31,8 +31,9 @@ from .descriptor import (
     UpdateOp,
     normalize_attrs,
 )
+from .codegen import run_rule
 from .errors import LexpressCompileError
-from .interpreter import execute
+from .interpreter import lower_attrs
 from .parser import parse
 from .partition import AlwaysTrue, PartitionConstraint, route
 
@@ -77,6 +78,12 @@ class CompiledMapping:
         #: analysis (span resolution and inline suppression comments).
         self.decl = decl
         self.source_text: str | None = None
+        #: Execution engine for this mapping's rules: None/"interpret"
+        #: runs the byte-code interpreter, "compiled" serves closures from
+        #: the process-wide cache, "verify" runs both and raises on any
+        #: disagreement.  Set per MetaComm system from
+        #: ``MetaCommConfig.lexpress_mode``.
+        self.lexpress_mode: str | None = None
 
         rules = [
             CompiledRule(
@@ -133,6 +140,27 @@ class CompiledMapping:
 
     # -- evaluation ------------------------------------------------------------
 
+    def evaluate(
+        self,
+        rule: CompiledRule,
+        attrs: Mapping[str, Sequence[str]],
+        value=None,
+        *,
+        canonical: bool = False,
+    ) -> list[str] | None:
+        """Evaluate one rule under this mapping's engine mode."""
+        return _as_values(
+            run_rule(
+                rule.code,
+                attrs,
+                value,
+                mapping=self.name,
+                attribute=rule.target,
+                mode=self.lexpress_mode,
+                canonical=canonical,
+            )
+        )
+
     def image(
         self, attrs: Mapping[str, Sequence[str]] | None
     ) -> dict[str, list[str]] | None:
@@ -140,9 +168,10 @@ class CompiledMapping:
         if attrs is None:
             return None
         attrs = normalize_attrs(attrs) or {}
+        low = lower_attrs(attrs)
         out: dict[str, list[str]] = {}
         for rule in self.rules:
-            values = _as_values(execute(rule.code, attrs))
+            values = self.evaluate(rule, low, canonical=True)
             if values is not None:
                 out[rule.target] = values
         self._key_fallback(out, attrs)
@@ -176,12 +205,14 @@ class CompiledMapping:
         identical outputs) — the payoff of dependency analysis."""
         old_n = normalize_attrs(old_attrs) or {}
         new_n = normalize_attrs(new_attrs) or {}
+        old_low = lower_attrs(old_n)
+        new_low = lower_attrs(new_n)
         old_image: dict[str, list[str]] = {}
         new_image: dict[str, list[str]] = {}
         for rule in self.rules:
-            old_values = _as_values(execute(rule.code, old_n))
+            old_values = self.evaluate(rule, old_low, canonical=True)
             if rule.deps & changed:
-                new_values = _as_values(execute(rule.code, new_n))
+                new_values = self.evaluate(rule, new_low, canonical=True)
             else:
                 new_values = list(old_values) if old_values is not None else None
             if old_values is not None:

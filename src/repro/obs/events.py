@@ -53,6 +53,7 @@ __all__ = [
     "AUDIT_MISMATCH",
     "ALERT_RAISED",
     "ALERT_CLEARED",
+    "LEXPRESS_COMPILED",
 ]
 
 # -- event kinds (the journal schema; see docs/OBSERVABILITY.md) ------------
@@ -95,6 +96,10 @@ AUDIT_MISMATCH = "audit.mismatch"
 ALERT_RAISED = "alert.raised"
 #: A previously firing alert's condition went away.
 ALERT_CLEARED = "alert.cleared"
+#: A lexpress rule was lowered to a Python closure (or rejected by the
+#: verifier gate) — emitted per (mapping, attribute) compile, carrying
+#: ``status`` (compiled/rejected), ``seconds`` and the code fingerprint.
+LEXPRESS_COMPILED = "lexpress.compiled"
 
 #: Every kind the shipped instrumentation emits, for validation/docs.
 EVENT_KINDS = (
@@ -116,6 +121,7 @@ EVENT_KINDS = (
     AUDIT_MISMATCH,
     ALERT_RAISED,
     ALERT_CLEARED,
+    LEXPRESS_COMPILED,
 )
 
 

@@ -79,6 +79,32 @@ class TestCli:
         assert all(line.endswith("us]") for line in trace_lines)
         assert not any("[open]" in line for line in trace_lines)
 
+    def test_stats_lexpress_compiled_adds_cache_section(self, capsys):
+        assert main(["stats", "--lexpress=compiled"]) == 0
+        out = capsys.readouterr().out
+        cache_lines = [
+            line for line in out.splitlines()
+            if line.startswith("# lexpress compiled rule cache")
+        ]
+        assert len(cache_lines) == 1
+        assert "compiles=" in cache_lines[0]
+        # The output stays valid Prometheus text end to end.
+        for line in out.splitlines():
+            assert line.startswith("#") or line[0].isalpha()
+
+    def test_stats_default_mode_has_no_cache_section(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "lexpress compiled rule cache" not in out
+
+    def test_stats_bad_lexpress_mode_is_exit_2(self, capsys):
+        assert main(["stats", "--lexpress=bogus"]) == 2
+        assert "interpret, compiled, verify" in capsys.readouterr().err
+
+    def test_stats_unknown_option_is_exit_2(self, capsys):
+        assert main(["stats", "--bogus"]) == 2
+        capsys.readouterr()
+
     def test_experiments(self, capsys):
         assert main(["experiments"]) == 0
         assert "--benchmark-only" in capsys.readouterr().out
@@ -239,3 +265,16 @@ class TestCheckCommand:
     def test_bad_option_is_exit_2(self, capsys):
         assert main(["check", "--fail-on=bogus"]) == 2
         capsys.readouterr()
+
+    def test_disasm_appends_optimized_bytecode(self, capsys):
+        assert main(["check", "--disasm"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "# --- pbx_to_ldap.cn (optimized) ---" in out
+        assert "MATCH_RE" in out and "RETURN" in out
+
+    def test_disasm_covers_file_configurations(self, bad_file, capsys):
+        assert main(["check", "--disasm", bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "# --- ldap_to_west.Kind (optimized) ---" in out
+        assert "TABLE_CONST" in out

@@ -5,13 +5,18 @@ and deterministic expressions must be referentially transparent."""
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
+import pytest
+
 from repro.lexpress import (
     LexpressError,
     TokenType,
+    compile_closure,
     compile_expr,
     execute,
+    lower_attrs,
     tokenize,
 )
+from repro.lexpress.codegen import _CFrame
 from repro.lexpress.parser import Parser
 
 ATTRS = ["Name", "Extension", "Room", "COS"]
@@ -89,6 +94,30 @@ def test_execution_is_deterministic(source, attrs):
     except LexpressError:
         return
     assert first == second
+
+
+@given(source=expr_source, attrs=record)
+@settings(max_examples=200, deadline=None)
+def test_compiled_closures_match_the_interpreter(source, attrs):
+    """The differential property behind lexpress_mode="verify": for any
+    program, the synthesized closure and the interpreter must agree on
+    the value *and its type* — or fail with the same error family."""
+    try:
+        code = _compile(source)
+    except LexpressError:
+        return
+    closure = compile_closure(code)
+    low = lower_attrs(attrs)
+    frame = _CFrame()
+    try:
+        interpreted = execute(code, low, canonical=True)
+    except LexpressError:
+        with pytest.raises(LexpressError):
+            closure.fn(low, frame)
+        return
+    compiled = closure.fn(low, frame)
+    assert compiled == interpreted
+    assert type(compiled) is type(interpreted)
 
 
 @given(source=expr_source)

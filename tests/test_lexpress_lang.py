@@ -17,6 +17,7 @@ from repro.lexpress import (
     truthy,
 )
 from repro.lexpress.ast import Call
+from repro.lexpress.bytecode import Op
 from repro.lexpress.parser import Parser
 
 
@@ -356,16 +357,31 @@ class TestDependencies:
 
 class TestBytecode:
     def test_disassembly_is_printable(self):
+        # An all-literal table interns into one TABLE_CONST probe.
         parser = Parser(tokenize('table v { "a" => "1"; default => "d"; }'))
         code = compile_expr(parser.parse_expr(), "demo")
         text = code.disassemble()
         assert "demo" in text
-        assert "MATCH_LIT" in text
+        assert "TABLE_CONST" in text
+        assert "<table" in text
+
+    def test_disassembly_of_computed_table_keeps_match_chain(self):
+        # A computed entry body defeats interning: the sequential
+        # MATCH_LIT chain survives.
+        parser = Parser(tokenize('table v { "a" => upper(n); default => "d"; }'))
+        code = compile_expr(parser.parse_expr(), "demo")
+        assert "MATCH_LIT" in code.disassemble()
 
     def test_const_interning(self):
-        parser = Parser(tokenize('concat("x", "x", "x")'))
+        parser = Parser(tokenize('concat(Name, "x", "x", "x")'))
         code = compile_expr(parser.parse_expr())
         assert code.consts.count("x") == 1
+
+    def test_constant_folding_of_pure_calls(self):
+        parser = Parser(tokenize('concat("x", "x", "x")'))
+        code = compile_expr(parser.parse_expr())
+        assert [ins.op for ins in code.instructions] == [Op.PUSH, Op.RETURN]
+        assert code.consts == ["xxx"]
 
 
 class TestTruthy:
