@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test check bench-smoke bench bench-pipeline bench-lanes bench-health bench-e7 lint stats monitor
+.PHONY: test check check-concur bench-smoke bench bench-pipeline bench-lanes bench-health bench-e7 lint stats monitor
 
 ## Tier-1: the full unit/integration suite (tests/ only).
 test:
@@ -11,6 +11,13 @@ test:
 ## (docs/ANALYSIS.md).  Fails on any unsuppressed warning or error.
 check:
 	$(PYTHON) -m repro check --fail-on=warning
+
+## LX5xx: concurrency lints over the runtime source (docs/CONCURRENCY.md)
+## plus the witness-enabled threaded stress tests.  Fails on any
+## unsuppressed warning or error, or on a witness.violation.
+check-concur:
+	$(PYTHON) -m repro check --concurrency --fail-on=warning
+	$(PYTHON) -m pytest tests/test_threaded_coordinator.py tests/test_stateful_system.py tests/test_lockwitness.py -x -q
 
 ## Smoke: one benchmark file with metrics enabled — gates the
 ## instrumentation overhead of the observability layer.

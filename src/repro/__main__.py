@@ -15,6 +15,7 @@ experiments list the experiment harness and how to run it
 
     python -m repro check [--json] [--fail-on=warning] [--show-suppressed]
                           [--disasm] [description.lex ...]
+    python -m repro check --concurrency [--json] [--fail-on=warning]
 
 With no files, analyzes the default MetaComm deployment (the standard
 mapping library plus its device bindings).  With files, compiles each
@@ -22,7 +23,10 @@ lexpress description and analyzes them as one configuration.  Exit code
 is 1 when error-severity findings remain (or warnings, with
 ``--fail-on=warning``), 0 otherwise.  ``--disasm`` appends the optimized
 byte code of every analyzed rule (what the compiled tier lowers; see
-docs/LEXPRESS_COMPILER.md).
+docs/LEXPRESS_COMPILER.md).  ``--concurrency`` runs the LX5xx lint pass
+over the runtime source instead (lock-order inversions, blocking calls
+under locks, guarded-field races — docs/CONCURRENCY.md); with ``--json``
+the document carries the acquisition-order graph under ``lock_order``.
 
 ``stats`` usage::
 
@@ -45,11 +49,14 @@ active, 0 otherwise.
 
 ``events`` usage::
 
-    python -m repro events [--json] [--follow] [--limit=N]
+    python -m repro events [--json] [--follow] [--limit=N] [--witness]
 
 Prints the event journal of the demo workload — text lines by default,
 JSONL with ``--json`` (pipe to a file for offline analysis).
 ``--follow`` prints each event as it is emitted, while the workload runs.
+``--witness`` runs the workload under the runtime lock witness
+(docs/CONCURRENCY.md) so any ``witness.violation`` events appear in the
+stream.
 """
 
 from __future__ import annotations
@@ -132,10 +139,13 @@ def cmd_check(args: list[str]) -> int:
     fail_on = "error"
     show_suppressed = False
     disasm = False
+    concurrency = False
     files: list[str] = []
     for arg in args:
         if arg == "--json":
             as_json = True
+        elif arg == "--concurrency":
+            concurrency = True
         elif arg.startswith("--fail-on="):
             fail_on = arg.split("=", 1)[1]
             if fail_on not in ("error", "warning"):
@@ -152,6 +162,33 @@ def cmd_check(args: list[str]) -> int:
             return 2
         else:
             files.append(arg)
+
+    if concurrency:
+        # LX5xx: the runtime's own lock discipline, not the mapping
+        # configuration (docs/CONCURRENCY.md).  Extra positional args are
+        # package roots to analyze instead of the shipped tree.
+        from repro.analysis.concur import lock_order_report
+
+        import json as _json
+
+        root = files[0] if files else None
+        report, graph = lock_order_report(root)
+        if as_json:
+            document = _json.loads(render_json(report))
+            document["lock_order"] = graph.to_dict()
+            print(_json.dumps(document, indent=2))
+        else:
+            print(render_text(report, show_suppressed=show_suppressed))
+            print(
+                f"lock-order graph: {len(graph.nodes)} lock(s), "
+                f"{len(graph.pairs())} ordered pair(s)"
+            )
+            for held, acquired in graph.pairs():
+                print(f"  {held} -> {acquired}")
+        failed = bool(report.errors) or (
+            fail_on == "warning" and report.warnings
+        )
+        return 1 if failed else 0
 
     if files:
         from repro.lexpress import LexpressError, compile_description
@@ -204,14 +241,20 @@ def cmd_check(args: list[str]) -> int:
     return 1 if failed else 0
 
 
-def _demo_system(lanes: int = 1, lexpress_mode: str = "interpret"):
+def _demo_system(
+    lanes: int = 1,
+    lexpress_mode: str = "interpret",
+    lock_witness: bool = False,
+):
     """The stats/monitor/events demo workload: one LDAP add (fan-out to
     PBX + messaging) and one DDU (craft-terminal room change).
 
     ``lanes`` > 1 runs the workload through the commutativity-sharded
     queue (docs/CONCURRENCY.md) so the per-lane monitor section has
     real lanes to show.  ``lexpress_mode`` selects the rule execution
-    engine (docs/LEXPRESS_COMPILER.md).
+    engine (docs/LEXPRESS_COMPILER.md).  ``lock_witness`` wraps the
+    subsystem locks in order-recording proxies so any acquisition-order
+    reversal during the workload lands in the journal.
     """
     from repro.core import MetaComm, MetaCommConfig
     from repro.schemas import PERSON_CLASSES
@@ -221,6 +264,7 @@ def _demo_system(lanes: int = 1, lexpress_mode: str = "interpret"):
             organizations=("Marketing",),
             coordinator_lanes=lanes,
             lexpress_mode=lexpress_mode,
+            lock_witness=lock_witness,
         )
     )
     conn = system.connection()
@@ -401,12 +445,15 @@ def cmd_events(args: list[str]) -> int:
     """Print the demo workload's event journal (text or JSONL)."""
     as_json = False
     follow = False
+    witness = False
     limit: int | None = None
     for arg in args:
         if arg == "--json":
             as_json = True
         elif arg == "--follow":
             follow = True
+        elif arg == "--witness":
+            witness = True
         elif arg.startswith("--limit="):
             limit = int(arg.split("=", 1)[1])
         else:
@@ -445,7 +492,7 @@ def cmd_events(args: list[str]) -> int:
         system.close()
         return 0
 
-    system = _demo_system()
+    system = _demo_system(lock_witness=witness)
     system.auditor.run_cycle(full=True)
     system.close()
     events = system.obs.journal.events()

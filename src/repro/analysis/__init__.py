@@ -14,6 +14,12 @@ Entry points:
 * ``python -m repro check [--json] [files...]`` from the command line
 """
 
+from .concur import (
+    analyze_concurrency,
+    analyze_concurrency_strict,
+    lock_order_report,
+    static_lock_order,
+)
 from .diagnostics import CATALOG, Diagnostic, Severity, Suppressions, sort_key
 from .graph import check_graph
 from .partitions import InstanceBinding, check_partitions
@@ -47,8 +53,12 @@ __all__ = [
     "Severity",
     "Suppressions",
     "analyze",
+    "analyze_concurrency",
+    "analyze_concurrency_strict",
     "analyze_strict",
     "build_routing_plan",
+    "lock_order_report",
+    "static_lock_order",
     "check_graph",
     "check_mapping_rules",
     "check_partitions",

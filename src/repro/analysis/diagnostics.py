@@ -9,6 +9,7 @@ and a fix hint.  Codes are grouped by pass:
 * ``LX3xx`` — partition-constraint overlap and coverage
   (:mod:`repro.analysis.partitions`)
 * ``LX4xx`` — closure-graph diagnostics (:mod:`repro.analysis.graph`)
+* ``LX5xx`` — runtime concurrency lints (:mod:`repro.analysis.concur`)
 
 A finding can be silenced at its source line (or the line directly above)
 with an inline comment::
@@ -64,6 +65,12 @@ CATALOG: dict[str, tuple[Severity, str]] = {
     "LX403": (Severity.WARNING, "non-commuting write-write conflict"),
     "LX404": (Severity.WARNING, "dead rule"),
     "LX405": (Severity.WARNING, "unreachable alternate"),
+    # -- runtime concurrency -------------------------------------------------
+    "LX501": (Severity.ERROR, "lock-order inversion"),
+    "LX502": (Severity.WARNING, "blocking call under lock"),
+    "LX503": (Severity.WARNING, "inconsistently guarded field"),
+    "LX504": (Severity.WARNING, "callback invoked under non-reentrant lock"),
+    "LX505": (Severity.WARNING, "thread without a stop/join path"),
 }
 
 

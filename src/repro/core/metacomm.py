@@ -111,6 +111,18 @@ class MetaCommConfig:
     #: closures from the process-wide rule cache, "verify" runs both and
     #: raises LexpressDivergenceError on any disagreement.
     lexpress_mode: str = "interpret"
+    #: Wrap this system's subsystem locks in order-recording witness
+    #: proxies (repro.obs.lockwitness): every acquisition pair is checked
+    #: against the static LX5xx lock-order graph and reversals are
+    #: journaled as ``witness.violation`` events.  Meant for tests,
+    #: stress runs and canaries — each acquisition pays a dict probe.
+    lock_witness: bool = False
+    #: Boot gate over the *runtime* source: run the LX5xx concurrency
+    #: analyzer (repro.analysis.concur) and refuse to construct the
+    #: system on any error-severity finding (a known lock-order
+    #: inversion).  The analysis is per-process cached by the witness
+    #: seed path but re-run here for the gate's own report.
+    strict_concurrency: bool = False
 
 
 class MetaComm:
@@ -119,6 +131,13 @@ class MetaComm:
     def __init__(self, config: MetaCommConfig | None = None):
         self.config = config or MetaCommConfig()
         suffix = DN.parse(self.config.suffix)
+
+        if self.config.strict_concurrency:
+            # Boot gate over the runtime source itself: refuse to build a
+            # system whose lock discipline has a known inversion (LX501).
+            from ..analysis.concur import analyze_concurrency_strict
+
+            analyze_concurrency_strict()
 
         #: This system's health plane: metrics registry, trace ring
         #: buffer, event journal and device-health board.  Every component
@@ -264,6 +283,15 @@ class MetaComm:
         # device key and the person-class searches of every fan-out.
         for attribute in ("definityExtension", "telephoneNumber", "objectClass"):
             self.server.backend.create_index(attribute)
+
+        #: The runtime lock witness, when enabled — order-recording
+        #: proxies over every subsystem lock, seeded with the static
+        #: LX5xx acquisition graph (docs/CONCURRENCY.md).
+        self.lock_witness = None
+        if self.config.lock_witness:
+            from ..obs.lockwitness import witness_system
+
+            self.lock_witness = witness_system(self)
 
     # -- bootstrap ------------------------------------------------------------------
 

@@ -308,17 +308,25 @@ class UpdateSequencePipeline:
 
     @property
     def fanout_workers(self) -> int:
-        return self._fanout_workers
+        # Single-int snapshot under the GIL; the setter swaps it under
+        # _pool_lock and _executor() re-reads it there before building.
+        return self._fanout_workers  # lexcheck: ignore[LX503]
 
     @fanout_workers.setter
     def fanout_workers(self, workers: int) -> None:
         if workers < 1:
             raise ValueError("fanout_workers must be >= 1")
+        # Swap the pool reference under the lock, but drain it outside:
+        # shutdown(wait=True) blocks until in-flight applies finish, and
+        # those worker threads must not find the lock held (LX502).
+        stale = None
         with self._pool_lock:
             if workers != self._fanout_workers and self._pool is not None:
-                self._pool.shutdown(wait=True)
+                stale = self._pool
                 self._pool = None
             self._fanout_workers = workers
+        if stale is not None:
+            stale.shutdown(wait=True)
 
     @property
     def parallel(self) -> bool:
@@ -335,10 +343,14 @@ class UpdateSequencePipeline:
 
     def close(self) -> None:
         """Shut down the fan-out worker pool (idempotent)."""
+        # Same discipline as the fanout_workers setter: detach under the
+        # lock, block on the drain after releasing it.
+        stale = None
         with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+            stale = self._pool
+            self._pool = None
+        if stale is not None:
+            stale.shutdown(wait=True)
 
     # -- stage bookkeeping --------------------------------------------------------
 

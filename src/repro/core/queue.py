@@ -211,6 +211,13 @@ class GlobalUpdateQueue:
             }
         ]
 
+    def wake(self) -> None:
+        """Wake any consumer blocked on queue state (shutdown fast path).
+
+        The global FIFO has no condition waiters — consumers poll their
+        own work queues — so this is a no-op kept for interface parity
+        with :meth:`ShardedUpdateQueue.wake`."""
+
 
 class ShardedUpdateQueue:
     """N FIFO lanes + one serial lane over a single global serial counter.
@@ -348,13 +355,24 @@ class ShardedUpdateQueue:
         descriptor: UpdateDescriptor,
         trace=None,
         rename: bool = False,
+        dispatch=None,
     ) -> QueuedUpdate:
         """Atomically assign the next global serial and a lane.
 
         Like :meth:`GlobalUpdateQueue.claim`, the item is never visible to
         any other consumer — the caller (or the lane worker it hands the
         item to) must call :meth:`wait_turn` before processing and
-        :meth:`finish` afterwards."""
+        :meth:`finish` afterwards.
+
+        *dispatch*, when given, is invoked with the item inside the same
+        critical section that assigns its serial.  The threaded hand-off
+        needs this atomicity: if serial assignment and the lane
+        work-queue insert were separate steps, two clients claiming into
+        the same lane could enqueue out of serial order, and the single
+        lane worker would wait on an item that can never become the
+        lane's oldest outstanding serial while the older item sits
+        behind it in the same FIFO.  *dispatch* must not block (a
+        ``queue.Queue.put`` is fine)."""
         decision = self.plan.classify(descriptor, rename=rename)
         label = self.lane_of(decision.lane_key)
         now = time.perf_counter()
@@ -369,9 +387,19 @@ class ShardedUpdateQueue:
             if decision.serial:
                 self._serial_fallback.labels(reason=decision.reason).inc()
             self._publish_depth()
-        item = QueuedUpdate(
-            serial, descriptor, now, lane=label, reason=decision.reason
-        )
+            item = QueuedUpdate(
+                serial, descriptor, now, lane=label, reason=decision.reason
+            )
+            if dispatch is not None:
+                try:
+                    dispatch(item)
+                except BaseException:
+                    # A failed hand-off must not leave the serial
+                    # outstanding — it would wedge the barrier forever.
+                    self._outstanding[label].discard(serial)
+                    self._waiting[label].pop(serial, None)
+                    self._publish_depth()
+                    raise
         self._emit(UPDATE_ACCEPTED, item, trace, reason=decision.reason)
         return item
 
@@ -437,6 +465,16 @@ class ShardedUpdateQueue:
             self._outstanding[item.lane].discard(item.serial)
             self._waiting[item.lane].pop(item.serial, None)
             self._publish_depth()
+            self._cond.notify_all()
+
+    def wake(self) -> None:
+        """Wake every barrier waiter so it re-checks its stop Event now.
+
+        :meth:`wait_turn`'s condition wait is already bounded (50 ms
+        ticks), so a missed wake-up only costs one tick — but
+        ``UpdateManager.stop()`` calls this so shutdown never waits out
+        even that tick per lane."""
+        with self._cond:
             self._cond.notify_all()
 
     def _publish_depth(self) -> None:

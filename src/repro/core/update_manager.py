@@ -389,6 +389,10 @@ class UpdateManager:
         if self._thread is None and not self._lane_threads:
             return
         self._stop.set()
+        # Kick every barrier waiter out of its condition wait immediately
+        # — without this, each lane worker finishes its current 50 ms
+        # wait tick before noticing the stop Event.
+        self.queue.wake()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
@@ -419,12 +423,21 @@ class UpdateManager:
             # new DN, so the oracle needs the operation kind from the
             # trigger event to route renames onto the serial lane.
             rename = event.change_type is ChangeType.MODIFY_RDN
-            item = self.queue.claim(descriptor, trace=trace, rename=rename)
             if self._lane_threads:
                 done = threading.Event()
                 failure: list[Exception] = []
-                self._lane_work[item.lane].put(
-                    (item, event.session, done, failure)
+                # The work-queue insert runs inside claim's critical
+                # section: serial assignment and hand-off must be atomic
+                # or two clients claiming into one lane can enqueue out
+                # of serial order and wedge the lane worker (see
+                # ShardedUpdateQueue.claim).
+                self.queue.claim(
+                    descriptor,
+                    trace=trace,
+                    rename=rename,
+                    dispatch=lambda item: self._lane_work[item.lane].put(
+                        (item, event.session, done, failure)
+                    ),
                 )
                 if not done.wait(timeout=self.coordinator_timeout):
                     raise RuntimeError(
@@ -433,6 +446,7 @@ class UpdateManager:
                 if failure:
                     raise failure[0]
                 return
+            item = self.queue.claim(descriptor, trace=trace, rename=rename)
             # Synchronous sharded mode: the client thread is its own lane
             # worker — the barrier still orders it against concurrent
             # claims from other client threads.

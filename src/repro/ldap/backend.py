@@ -235,6 +235,7 @@ class Backend:
             return sorted(self._indexes)
 
     def _index_entry(self, dn_key: tuple, entry: Entry, remove: bool = False) -> None:
+        """Caller holds ``_lock``."""
         from .entry import _norm_value
 
         for attribute, table in self._indexes.items():
@@ -250,7 +251,9 @@ class Backend:
                     table.setdefault(normalized, set()).add(dn_key)
 
     def _store(self, entry: Entry) -> None:
-        """Insert or replace an entry, keeping indexes current."""
+        """Insert or replace an entry, keeping indexes current.
+
+        Caller holds ``_lock``."""
         dn_key = entry.dn.normalized()
         old = self._entries.get(dn_key)
         if old is not None and self._indexes:
@@ -260,6 +263,7 @@ class Backend:
             self._index_entry(dn_key, entry)
 
     def _unstore(self, dn_key: tuple) -> Entry | None:
+        """Caller holds ``_lock``."""
         old = self._entries.pop(dn_key, None)
         if old is not None and self._indexes:
             self._index_entry(dn_key, old, remove=True)
@@ -267,7 +271,9 @@ class Backend:
 
     def _index_candidates(self, compiled: Filter) -> set[tuple] | None:
         """DN keys matching an indexed Equality inside *compiled*, or None
-        when the filter cannot use an index."""
+        when the filter cannot use an index.
+
+        Caller holds ``_lock``."""
         from .entry import _norm_value
         from .filter import And, Equality
 
@@ -298,6 +304,7 @@ class Backend:
         return any(dn.is_under(suffix) for suffix in self.suffixes)
 
     def _require(self, dn: DN) -> Entry:
+        """Caller holds ``_lock``."""
         entry = self._entries.get(dn.normalized())
         if entry is None:
             matched = self._deepest_match(dn)
@@ -305,6 +312,7 @@ class Backend:
         return entry
 
     def _deepest_match(self, dn: DN) -> DN:
+        """Caller holds ``_lock``."""
         current = dn
         while not current.is_root():
             current = current.parent()

@@ -172,7 +172,9 @@ class LtapGateway:
 
     @property
     def quiesced(self) -> bool:
-        return self._quiesce_owner is not None
+        # Advisory status probe: a single reference read is atomic, and
+        # the authoritative check (_check_quiesce) retakes the condition.
+        return self._quiesce_owner is not None  # lexcheck: ignore[LX503]
 
     def _check_quiesce(self, session: Session) -> None:
         with self._quiesce_lock:

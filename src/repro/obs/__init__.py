@@ -31,6 +31,7 @@ from .alerts import AlertEngine, AlertRule, AlertRuleError, default_rules
 from .audit import AuditReport, ConsistencyAuditor
 from .events import EVENT_KINDS, Event, EventJournal
 from .export import render_json, render_prometheus
+from .lockwitness import LockWitness, WitnessViolation, witness_system
 from .health import (
     DEGRADED,
     HEALTHY,
@@ -70,6 +71,7 @@ __all__ = [
     "HealthPolicy",
     "Histogram",
     "LatencyReservoir",
+    "LockWitness",
     "MetricsRegistry",
     "OBS_TRACE",
     "Observability",
@@ -78,11 +80,13 @@ __all__ = [
     "Trace",
     "Tracer",
     "UNREACHABLE",
+    "WitnessViolation",
     "default_rules",
     "global_registry",
     "render_json",
     "render_prometheus",
     "trace_span",
+    "witness_system",
 ]
 
 

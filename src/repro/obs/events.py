@@ -54,6 +54,7 @@ __all__ = [
     "ALERT_RAISED",
     "ALERT_CLEARED",
     "LEXPRESS_COMPILED",
+    "WITNESS_VIOLATION",
 ]
 
 # -- event kinds (the journal schema; see docs/OBSERVABILITY.md) ------------
@@ -100,6 +101,10 @@ ALERT_CLEARED = "alert.cleared"
 #: verifier gate) — emitted per (mapping, attribute) compile, carrying
 #: ``status`` (compiled/rejected), ``seconds`` and the code fingerprint.
 LEXPRESS_COMPILED = "lexpress.compiled"
+#: The runtime lock witness observed an acquisition order that reverses
+#: an already-recorded (or statically derived) pair — carries both lock
+#: names and both acquisition stacks (docs/CONCURRENCY.md).
+WITNESS_VIOLATION = "witness.violation"
 
 #: Every kind the shipped instrumentation emits, for validation/docs.
 EVENT_KINDS = (
@@ -122,6 +127,7 @@ EVENT_KINDS = (
     ALERT_RAISED,
     ALERT_CLEARED,
     LEXPRESS_COMPILED,
+    WITNESS_VIOLATION,
 )
 
 
@@ -233,6 +239,11 @@ class EventJournal:
                 next(self._seq), time.time(), kind, trace_id, attributes
             )
             self._events.append(event)
+            # Snapshot inside the critical section: subscribe/unsubscribe
+            # swap the tuple under this lock, so the snapshot is the exact
+            # listener set that existed when the event entered the journal
+            # — and delivery below happens with the lock released.
+            listeners = self._listeners
         if self._emitted is not None:
             child = self._emitted_children.get(kind)
             if child is None:
@@ -243,7 +254,7 @@ class EventJournal:
             child.inc()
             if dropping:
                 self._dropped.inc()
-        for listener in self._listeners:
+        for listener in listeners:
             try:
                 listener(event)
             except Exception:

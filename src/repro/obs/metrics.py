@@ -98,7 +98,9 @@ class Metric:
     def labels(self, **labels: str):
         """The child bound to one label combination (created on demand)."""
         key = _label_key(self.labelnames, labels)
-        child = self._children.get(key)
+        # Double-checked create: the bare read is a hot-path fast lane; a
+        # stale miss just falls into the locked setdefault, which dedupes.
+        child = self._children.get(key)  # lexcheck: ignore[LX503]
         if child is None:
             with self._lock:
                 child = self._children.setdefault(key, self._make_child())
@@ -139,7 +141,9 @@ class _CounterChild:
 
     @property
     def value(self) -> float:
-        return self._value
+        # Scrape-side read of one float: torn-read-free under the GIL,
+        # and a scrape racing an inc() legitimately sees either total.
+        return self._value  # lexcheck: ignore[LX503]
 
 
 class Counter(Metric):
@@ -194,7 +198,8 @@ class _GaugeChild:
 
     @property
     def value(self) -> float:
-        return self._value
+        # Same benign race as _CounterChild.value: single-float snapshot.
+        return self._value  # lexcheck: ignore[LX503]
 
 
 class _GaugeTracker:

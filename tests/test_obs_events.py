@@ -126,6 +126,23 @@ class TestEventJournal:
         assert event is not None
         assert len(journal) == 1
 
+    def test_listener_may_subscribe_during_emit(self):
+        # Listeners run after ``_lock`` is released (LX502/LX504): a
+        # listener that calls back into subscribe() must not deadlock on
+        # the journal's own non-reentrant lock.
+        journal = EventJournal()
+        seen = []
+
+        def recursive(event):
+            journal.subscribe(seen.append)
+
+        journal.subscribe(recursive)
+        journal.emit(UPDATE_ACCEPTED, serial=1)
+        # The new subscriber was registered mid-emit; the *next* emit
+        # reaches it (emit snapshots the listener set under the lock).
+        journal.emit(UPDATE_PLANNED, serial=1)
+        assert [e.kind for e in seen] == [UPDATE_PLANNED]
+
     def test_concurrent_emits_keep_unique_sequences(self):
         journal = EventJournal(capacity=4096)
 

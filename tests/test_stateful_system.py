@@ -21,7 +21,10 @@ _ROOMS = ["1A", "2B", "3C"]
 class MetaCommMachine(RuleBasedStateMachine):
     def __init__(self):
         super().__init__()
-        self.system = MetaComm(MetaCommConfig())
+        # The lock witness records every acquisition-order pair; the
+        # invariant below turns any reversal seen during a random
+        # operation sequence into a counterexample hypothesis can shrink.
+        self.system = MetaComm(MetaCommConfig(lock_witness=True))
         self.conn = self.system.connection()
         self.terminal = self.system.terminal()
         self.live: set[str] = set()  # extensions with a person entry
@@ -117,6 +120,10 @@ class MetaCommMachine(RuleBasedStateMachine):
     @invariant()
     def no_errors_logged(self):
         assert len(self.system.error_log) == 0
+
+    @invariant()
+    def no_lock_order_reversals(self):
+        assert self.system.lock_witness.violations() == []
 
 
 MetaCommMachine.TestCase.settings = settings(

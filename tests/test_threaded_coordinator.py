@@ -23,10 +23,17 @@ def person_attrs(cn, sn, **extra):
 
 @pytest.fixture
 def system():
-    system = MetaComm(MetaCommConfig(organizations=("Marketing",)))
+    # lock_witness=True wraps every subsystem lock in an order-recording
+    # proxy (repro.obs.lockwitness); the teardown assertion makes any
+    # acquisition-order reversal observed during a threaded test fail
+    # that test rather than pass silently.
+    system = MetaComm(
+        MetaCommConfig(organizations=("Marketing",), lock_witness=True)
+    )
     system.um.start()
     yield system
     system.um.stop()
+    assert system.lock_witness.violations() == []
 
 
 class TestThreadedMode:
