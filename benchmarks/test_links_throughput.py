@@ -1,0 +1,284 @@
+"""Device-link throughput: pipelined command streams vs thread-per-device.
+
+The event-driven link layer (docs/DEVICE_LINKS.md) replaces the fan-out
+stage's thread-per-device blocking writes with per-device command
+streams: one dispatcher thread coalesces queued ops into batches, pays
+**one** round-trip per batch, and keeps a bounded window of streams in
+flight per device.  This benchmark builds the fleet that refactor
+targets: sixteen devices (fifteen PBXes with disjoint extension
+prefixes plus the shared messaging platform), every link a *serial
+craft channel* costing ``link_commands`` sequential round-trips per
+blocking op — so the messaging platform, touched by every update, is
+the structural bottleneck the batching collapses.
+
+Measures update sequences/second for the thread-per-device baseline
+(``fanout_workers`` pool, one blocking write per device) against
+``device_links=True`` on the same four-lane coordinator, repeats the
+comparison with a mixed-latency fleet (slow shared messaging link), and
+records a stalled-device observation showing the lane depth limit
+bounding queued work while a link is down.  Asserts the headline
+speedup (>= 2x on the uniform 2 ms fleet) and writes the results to
+``BENCH_links.json``.  Run with::
+
+    make bench-links
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import person_attrs
+
+from repro.core import MetaComm, MetaCommConfig, PbxConfig
+
+#: Simulated management-link round-trip per command (seconds).
+LINK_LATENCY = 0.002
+#: Concurrent client threads, each owning one extension prefix.
+CLIENTS = 8
+#: Person adds per client per measured run.
+UPDATES_PER_CLIENT = 5
+#: Best-of runs per mode.
+REPEATS = 3
+#: Coordinator lanes in both modes (the production sharded queue).
+LANES = 4
+#: PBX count; with the messaging platform the fleet is 16 devices.
+PBX_COUNT = 15
+#: Commands per blocking op on a PBX craft channel.
+PBX_COMMANDS = 2
+#: Commands per blocking op on the messaging platform's channel.
+MESSAGING_COMMANDS = 3
+#: Required speedup of device links over thread-per-device fan-out.
+SPEEDUP_FLOOR = 2.0
+
+#: Disjoint two-digit extension prefixes: clients use 41..48, the rest
+#: of the fleet (51..57) is provisioned but idle — it still costs link
+#: registrations and dispatcher bookkeeping, as a real fleet would.
+PREFIXES = [str(41 + i) for i in range(CLIENTS)] + [
+    str(51 + i) for i in range(PBX_COUNT - CLIENTS)
+]
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_links.json"
+
+
+def _fleet(mode: str, messaging_latency: float = LINK_LATENCY) -> MetaComm:
+    """Sixteen devices on serial craft channels, rules on the compiled
+    tier.  ``mode`` selects the fan-out machinery: ``"threads"`` is the
+    thread-per-device baseline (a pool worker sleeps through every
+    device's round-trips), ``"links"`` the event-driven dispatcher."""
+    config = MetaCommConfig(
+        pbxes=[PbxConfig(f"pbx-{i + 1}", (p,)) for i, p in enumerate(PREFIXES)],
+        coordinator_lanes=LANES,
+        lexpress_mode="compiled",
+        device_links=(mode == "links"),
+        fanout_workers=PBX_COUNT + 1 if mode == "threads" else 1,
+    )
+    system = MetaComm(config)
+    for pbx in system.pbxes.values():
+        pbx.link_latency = LINK_LATENCY
+        pbx.link_serial = True
+        pbx.link_commands = PBX_COMMANDS
+    system.messaging.link_latency = messaging_latency
+    system.messaging.link_serial = True
+    system.messaging.link_commands = MESSAGING_COMMANDS
+    system.um.start()
+    return system
+
+
+def _run_once(mode: str, messaging_latency: float = LINK_LATENCY) -> dict:
+    """One measured run: CLIENTS threads adding into disjoint partitions;
+    returns the rate plus (for links) the messaging link's batching."""
+    system = _fleet(mode, messaging_latency)
+    try:
+        errors: list[Exception] = []
+
+        def client(i: int) -> None:
+            try:
+                conn = system.connection()
+                for j in range(UPDATES_PER_CLIENT):
+                    conn.add(
+                        f"cn=U{i}-{j},o=Lucent",
+                        person_attrs(
+                            f"U{i}-{j}", "U",
+                            definityExtension=f"{41 + i}{j:02d}",
+                        ),
+                    )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+
+        assert errors == [], errors
+        assert system.consistent(), "oracle failed after run"
+        total = CLIENTS * UPDATES_PER_CLIENT
+        assert system.messaging.size() == total
+        for i in range(CLIENTS):
+            assert system.pbxes[f"pbx-{i + 1}"].size() == UPDATES_PER_CLIENT
+        stats = dict(system.um.queue.statistics)
+        assert stats["processed"] == total
+        # Partition-disjoint traffic never serializes behind one lane.
+        assert stats.get("serial_routed", 0) == 0
+        sample = {"seq_per_s": total / elapsed}
+        if mode == "links":
+            rows = {row["device"]: row for row in system.links.snapshot()}
+            messaging = rows["messaging"]
+            assert messaging["completed"] == total
+            sample["messaging_flushes"] = messaging["flushes"]
+            sample["messaging_mean_batch"] = round(
+                total / messaging["flushes"], 2
+            )
+        return sample
+    finally:
+        system.close()
+
+
+def _measure(mode: str, messaging_latency: float = LINK_LATENCY) -> dict:
+    best = None
+    for _ in range(REPEATS):
+        sample = _run_once(mode, messaging_latency)
+        if best is None or sample["seq_per_s"] > best["seq_per_s"]:
+            best = sample
+    best["seq_per_s"] = round(best["seq_per_s"], 1)
+    return best
+
+
+def _observe_stall() -> dict:
+    """A stalled link with a lane depth limit: queued work stays bounded.
+
+    Pauses pbx-1's link, pushes more updates at its partition than the
+    lane admits, and samples how much work the system is holding — the
+    depth limit keeps the lane's claim set (and so the per-update
+    buffers behind it) constant no matter how many clients pile up."""
+    depth_limit = 2
+    writers = 6
+    system = MetaComm(
+        MetaCommConfig(
+            pbxes=[PbxConfig("pbx-1", ("41",))],
+            coordinator_lanes=2,
+            device_links=True,
+            lane_depth_limit=depth_limit,
+            busy_policy="defer",
+            busy_timeout=30.0,
+        )
+    )
+    try:
+        system.um.start()
+        link = system.links.link("pbx-1")
+        link.pause()
+        threads = [
+            threading.Thread(
+                target=system.connection().add,
+                args=(
+                    f"cn=S{i},o=Lucent",
+                    person_attrs(f"S{i}", "S", definityExtension=f"41{i:02d}"),
+                ),
+            )
+            for i in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 5.0
+        peak_outstanding = peak_pending = 0
+        deferred = 0
+        while time.monotonic() < deadline:
+            rows = system.um.queue.lane_snapshot()
+            peak_outstanding = max(
+                peak_outstanding,
+                max(row["outstanding"] for row in rows),
+            )
+            peak_pending = max(peak_pending, link.snapshot()["pending"])
+            deferred = system.um.queue.statistics.get("admission_deferred", 0)
+            if deferred >= writers - depth_limit:
+                break
+            time.sleep(0.02)
+        link.resume()
+        for t in threads:
+            t.join()
+        assert peak_outstanding <= depth_limit
+        assert system.pbxes["pbx-1"].size() == writers
+        return {
+            "writers": writers,
+            "lane_depth_limit": depth_limit,
+            "peak_lane_outstanding": peak_outstanding,
+            "peak_link_pending": peak_pending,
+            "admission_deferred": deferred,
+        }
+    finally:
+        system.close()
+
+
+@pytest.mark.benchmarks
+def test_device_link_throughput():
+    results = []
+    for label, messaging_latency in (
+        ("uniform-2ms", LINK_LATENCY),
+        ("slow-messaging-8ms", 4 * LINK_LATENCY),
+    ):
+        baseline = _measure("threads", messaging_latency)
+        links = _measure("links", messaging_latency)
+        results.append(
+            {
+                "fleet": label,
+                "threads_seq_per_s": baseline["seq_per_s"],
+                "links_seq_per_s": links["seq_per_s"],
+                "speedup": round(
+                    links["seq_per_s"] / baseline["seq_per_s"], 2
+                ),
+                "messaging_flushes": links["messaging_flushes"],
+                "messaging_mean_batch": links["messaging_mean_batch"],
+            }
+        )
+    stall = _observe_stall()
+
+    document = {
+        "benchmark": "device_link_throughput",
+        "workload": {
+            "devices": PBX_COUNT + 1,
+            "clients": CLIENTS,
+            "updates_per_client": UPDATES_PER_CLIENT,
+            "repeats": REPEATS,
+            "coordinator_lanes": LANES,
+            "link_latency_s": LINK_LATENCY,
+            "pbx_commands": PBX_COMMANDS,
+            "messaging_commands": MESSAGING_COMMANDS,
+            "metric": "update sequences per second, best of repeats",
+            "fleet": (
+                "15 PBXes (disjoint prefixes, serial craft channels) "
+                "+ 1 messaging platform touched by every update"
+            ),
+        },
+        "results": results,
+        "stalled_link": stall,
+    }
+    RESULTS_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    print("\n=== device link throughput ===")
+    print("fleet               threads  links  speedup  mean batch")
+    for row in results:
+        print(
+            f"{row['fleet']:<19} {row['threads_seq_per_s']:>7}  "
+            f"{row['links_seq_per_s']:>5}  {row['speedup']:>6}x  "
+            f"{row['messaging_mean_batch']:>10}"
+        )
+    print(
+        f"stalled link: {stall['writers']} writers held to "
+        f"{stall['peak_lane_outstanding']} outstanding "
+        f"(limit {stall['lane_depth_limit']}), "
+        f"{stall['admission_deferred']} deferred at admission"
+    )
+
+    uniform = results[0]
+    assert uniform["speedup"] >= SPEEDUP_FLOOR, (
+        f"device-link speedup {uniform['speedup']}x over thread-per-device "
+        f"fan-out is below the {SPEEDUP_FLOOR}x floor on the uniform fleet"
+    )

@@ -99,6 +99,27 @@ class MetaCommConfig:
     #: provably-commuting updates over that many lanes, with a serial
     #: fallback lane for everything unprovable — see docs/CONCURRENCY.md.
     coordinator_lanes: int = 1
+    #: Event-driven device links (docs/DEVICE_LINKS.md): replace the
+    #: blocking thread-per-device fan-out with one dispatcher thread
+    #: driving pipelined, batched command streams over every device link.
+    #: Off by default — the blocking paths stay byte-identical.
+    device_links: bool = False
+    #: Maximum command streams (flushed batches) in flight per link.
+    link_window: int = 4
+    #: Maximum operations coalesced into one command stream.
+    link_batch: int = 8
+    #: Maximum operations waiting on one link before submits defer/block.
+    link_queue_limit: int = 64
+    #: Maximum outstanding updates per coordinator lane before LTAP's
+    #: admission control defers or rejects with ServerBusy.  ``None``
+    #: (default) disables admission — the pre-link unbounded behaviour.
+    #: Requires ``coordinator_lanes > 1`` to take effect.
+    lane_depth_limit: int | None = None
+    #: What admission does at the limit: "reject" answers ServerBusy
+    #: immediately, "defer" waits up to ``busy_timeout`` first.
+    busy_policy: str = "reject"
+    #: Bounded admission wait (seconds) under ``busy_policy="defer"``.
+    busy_timeout: float = 0.5
     #: Run lexcheck (repro.analysis) over the full configuration before
     #: constructing the Update Manager and refuse to boot on any
     #: error-severity finding (docs/ANALYSIS.md).  Off by default: the
@@ -257,9 +278,42 @@ class MetaComm:
             health=self.obs.health,
             coordinator_lanes=self.config.coordinator_lanes,
             routing_plan=routing_plan,
+            lane_depth_limit=self.config.lane_depth_limit,
+            busy_policy=self.config.busy_policy,
+            busy_timeout=self.config.busy_timeout,
         )
         self.sync = Synchronizer(self.um)
         self.suffix = suffix
+
+        #: The event-driven link layer (docs/DEVICE_LINKS.md): one
+        #: dispatcher thread drives a pipelined, batched command stream
+        #: per device; the fan-out stage submits apply closures instead of
+        #: blocking a worker per round-trip.  Started below, after the
+        #: lock witness has had its chance to wrap the dispatcher's locks.
+        self.links = None
+        if self.config.device_links:
+            from ..devices.links import LinkConfig, LinkDispatcher
+
+            self.links = LinkDispatcher(
+                metrics=self.obs.registry, journal=self.obs.journal
+            )
+            link_config = LinkConfig(
+                window=self.config.link_window,
+                batch=self.config.link_batch,
+                queue_limit=self.config.link_queue_limit,
+            )
+            self.um.pipeline.attach_links(
+                {
+                    binding.name: self.links.register(
+                        binding.filter.device, link_config
+                    )
+                    for binding in bindings
+                }
+            )
+        if self.config.lane_depth_limit is not None:
+            # Close the backpressure loop: saturated lanes surface at the
+            # gateway as typed ServerBusy results, before any write.
+            self.gateway.admission = self.um.admission_check
 
         # Device-link telemetry: every raw device write (fan-out, DDU,
         # sync push) feeds the health board's latency reservoir.
@@ -292,6 +346,11 @@ class MetaComm:
             from ..obs.lockwitness import witness_system
 
             self.lock_witness = witness_system(self)
+
+        if self.links is not None:
+            # Started only now: the witness must wrap the dispatcher's
+            # condition before its event loop starts waiting on it.
+            self.links.start()
 
     # -- bootstrap ------------------------------------------------------------------
 
@@ -326,9 +385,13 @@ class MetaComm:
 
     def close(self) -> None:
         """Release background resources (auditor thread, coordinator
-        thread, fan-out pool)."""
+        thread, fan-out pool, link dispatcher)."""
         self.auditor.stop()
         self.um.close()
+        if self.links is not None:
+            # After the UM: coordinator lanes may still be draining work
+            # through the links, and stop() fails any orphaned futures.
+            self.links.stop()
         if self._lexpress_listener is not None:
             lexpress.rule_cache().unsubscribe(self._lexpress_listener)
             self._lexpress_listener = None
@@ -492,6 +555,7 @@ class MetaComm:
                 "lanes": queue.lane_snapshot(),
             },
             "devices": self.obs.health.snapshot(),
+            "links": self.links.snapshot() if self.links is not None else None,
             "audit": report.to_dict() if report is not None else None,
             "alerts": [alert.to_dict() for alert in self.alerts.active()],
             "journal_events": len(self.obs.journal),

@@ -85,6 +85,7 @@ from .filters.base import ApplyResult, FilterError
 from .filters.ldap_filter import LdapFilter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..devices.links import DeviceLink
     from .update_manager import DeviceBinding
 
 __all__ = [
@@ -265,6 +266,12 @@ class UpdateSequencePipeline:
         self._compensate = compensate
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        #: Event-driven device links by binding name (see
+        #: :mod:`repro.devices.links`).  When attached, the fan-out stage
+        #: dispatches apply closures onto the links instead of the worker
+        #: pool: one dispatcher thread overlaps every device's round-trip
+        #: and coalesces ops into pipelined command streams.
+        self._links: dict[str, "DeviceLink"] = {}
         #: The outcome of the most recent sequence (diagnostic handle).
         self.last_outcome: SequenceOutcome | None = None
 
@@ -331,6 +338,17 @@ class UpdateSequencePipeline:
     @property
     def parallel(self) -> bool:
         return self._fanout_workers > 1
+
+    @property
+    def links_enabled(self) -> bool:
+        return bool(self._links)
+
+    def attach_links(self, links: Mapping[str, "DeviceLink"]) -> None:
+        """Route fan-out through event-driven device links.
+
+        ``links`` maps binding names to their :class:`DeviceLink`; bindings
+        without a link fall back to an inline (blocking) apply."""
+        self._links = dict(links)
 
     def _executor(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -501,14 +519,24 @@ class UpdateSequencePipeline:
         outcome = SequenceOutcome(plan=plan, stages=stages)
         self.last_outcome = outcome
 
+        if self._links:
+            mode = "links"
+        elif self.parallel:
+            mode = "parallel"
+        else:
+            mode = "serial"
         with self._stage(
             "fanout",
             trace,
             stages,
-            mode="parallel" if self.parallel else "serial",
+            mode=mode,
             devices=len(plan.device_plans),
         ):
-            if self.parallel and len(plan.device_plans) > 1:
+            if self._links and plan.device_plans:
+                outcomes = self._fanout_links(
+                    plan.device_plans, trace, serial
+                )
+            elif self.parallel and len(plan.device_plans) > 1:
                 outcomes = self._fanout_parallel(
                     plan.device_plans, trace, serial
                 )
@@ -586,6 +614,35 @@ class UpdateSequencePipeline:
             for plan in plans
         ]
         return [future.result() for future in futures]
+
+    def _fanout_links(
+        self, plans: list[DevicePlan], trace: Trace | None, serial: int = 0
+    ) -> list[DeviceOutcome]:
+        """Event-driven fan-out: each plan's apply closure is queued on its
+        device link, where the dispatcher coalesces it with other
+        sequences' ops for the same device into one pipelined command
+        stream.  The barrier (awaiting every future) still runs before any
+        failure policy, so the policy replay — and therefore error-log and
+        saga-compensation order — is identical to the serial path."""
+        submitted: list[tuple[DevicePlan, object | None]] = []
+        for plan in plans:
+            link = self._links.get(plan.binding.name)
+            if link is None:
+                submitted.append((plan, None))
+                continue
+            future = link.submit(
+                lambda p=plan: self._apply_one(p, trace, serial),
+                op=plan.update.action.value,
+                key=str(plan.update.key),
+            )
+            submitted.append((plan, future))
+        outcomes: list[DeviceOutcome] = []
+        for plan, future in submitted:
+            if future is None:
+                outcomes.append(self._apply_one(plan, trace, serial))
+            else:
+                outcomes.append(future.result())
+        return outcomes
 
     def _apply_one(
         self, plan: DevicePlan, trace: Trace | None, serial: int = 0

@@ -35,12 +35,35 @@ from dataclasses import dataclass, field
 from zlib import crc32
 
 from ..lexpress.descriptor import UpdateDescriptor
-from ..obs.events import LANE_BARRIER, UPDATE_ACCEPTED, UPDATE_CLAIMED
+from ..obs.events import (
+    LANE_BARRIER,
+    UPDATE_ACCEPTED,
+    UPDATE_CLAIMED,
+    UPDATE_DEFERRED,
+    UPDATE_REJECTED,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.views import StatsView
 
 #: Label of the fallback lane everything unprovable serializes onto.
 SERIAL_LANE = "serial"
+
+
+class QueueSaturatedError(RuntimeError):
+    """A lane is at its depth limit and the admission policy gave up.
+
+    The bottom-up backpressure signal of the event-driven link layer:
+    LTAP's admission hook converts it into a typed ``ServerBusy`` LDAP
+    result *before* the directory write, so a rejected update leaves no
+    trace to lose or compensate."""
+
+    def __init__(self, lane: str, depth: int, limit: int):
+        super().__init__(
+            f"coordinator lane {lane!r} at depth {depth} (limit {limit})"
+        )
+        self.lane = lane
+        self.depth = depth
+        self.limit = limit
 
 
 @dataclass(frozen=True)
@@ -211,6 +234,22 @@ class GlobalUpdateQueue:
             }
         ]
 
+    def admit(
+        self,
+        descriptor: UpdateDescriptor,
+        rename: bool = False,
+        timeout: float | None = None,
+        trace=None,
+    ) -> str:
+        """Admission is a no-op on the paper-serial queue.
+
+        Interface parity with :meth:`ShardedUpdateQueue.admit`.  The
+        single FIFO is naturally bounded by client concurrency: every
+        producer either drains its own sequence synchronously or blocks
+        on the coordinator hand-off, so at most one update per client
+        session is ever outstanding."""
+        return "admitted"
+
     def wake(self) -> None:
         """Wake any consumer blocked on queue state (shutdown fast path).
 
@@ -247,11 +286,18 @@ class ShardedUpdateQueue:
         lanes: int = 2,
         registry: MetricsRegistry | None = None,
         journal=None,
+        depth_limit: int | None = None,
     ) -> None:
         if lanes < 1:
             raise ValueError("a sharded queue needs at least one lane")
+        if depth_limit is not None and depth_limit < 1:
+            raise ValueError("depth_limit must be >= 1")
         self.plan = plan
         self.lanes = lanes
+        #: Maximum *outstanding* (claimed, not yet finished) updates per
+        #: lane before :meth:`admit` defers or rejects; ``None`` disables
+        #: admission control (the pre-link behaviour).
+        self.depth_limit = depth_limit
         self.journal = journal
         self.labels: tuple[str, ...] = tuple(
             [str(i) for i in range(lanes)] + [SERIAL_LANE]
@@ -319,11 +365,24 @@ class ShardedUpdateQueue:
             "metacomm_queue_barrier_seconds",
             "How long serial-lane items waited for all lanes to quiesce",
         )
+        self._admission_deferred = registry.counter(
+            "metacomm_queue_admission_deferred_total",
+            "Updates that waited at admission for lane capacity",
+            labelnames=("lane",),
+        )
+        self._admission_rejected = registry.counter(
+            "metacomm_queue_admission_rejected_total",
+            "Updates rejected at admission because a lane stayed at its "
+            "depth limit (surfaced to LTAP clients as ServerBusy)",
+            labelnames=("lane",),
+        )
         self.statistics = StatsView(
             {
                 "enqueued": lambda: self._enqueued.value,
                 "processed": lambda: self._processed.value,
                 "serial_routed": lambda: self._serial_fallback.total(),
+                "admission_deferred": lambda: self._admission_deferred.total(),
+                "admission_rejected": lambda: self._admission_rejected.total(),
             }
         )
 
@@ -402,6 +461,78 @@ class ShardedUpdateQueue:
                     raise
         self._emit(UPDATE_ACCEPTED, item, trace, reason=decision.reason)
         return item
+
+    # -- admission control ----------------------------------------------------
+
+    def admit(
+        self,
+        descriptor: UpdateDescriptor,
+        rename: bool = False,
+        timeout: float | None = None,
+        trace=None,
+    ) -> str:
+        """Gate one prospective update on its target lane's depth limit.
+
+        Called by LTAP's admission hook *before* the directory write, with
+        a descriptor built from the inbound request: the routing oracle
+        says which lane the update would land on, and if that lane already
+        holds ``depth_limit`` outstanding updates the caller either defers
+        (bounded wait of ``timeout`` seconds for capacity) or — when the
+        wait expires, or ``timeout`` is ``None``/``0`` — gets
+        :class:`QueueSaturatedError`, which the gateway surfaces as a
+        typed ``ServerBusy`` LDAP result.  Returns ``"admitted"`` or
+        ``"deferred"`` on success.
+
+        Advisory by design: admission and the later :meth:`claim` are two
+        critical sections, so concurrent admits can overshoot the limit by
+        the number of racing clients — the limit bounds growth, it is not
+        an exact semaphore."""
+        if self.depth_limit is None:
+            return "admitted"
+        decision = self.plan.classify(descriptor, rename=rename)
+        label = self.lane_of(decision.lane_key)
+        deadline = (
+            time.perf_counter() + timeout if timeout else None
+        )
+        status = "admitted"
+        depth = 0
+        waited = 0.0
+        started = time.perf_counter()
+        with self._cond:
+            while len(self._outstanding[label]) >= self.depth_limit:
+                if status == "admitted":
+                    status = "deferred"
+                    self._admission_deferred.labels(lane=label).inc()
+                if deadline is None or time.perf_counter() >= deadline:
+                    status = "rejected"
+                    depth = len(self._outstanding[label])
+                    break
+                self._cond.wait(timeout=0.05)
+        waited = time.perf_counter() - started
+        # Journal emission stays outside _cond: listener callbacks must
+        # never run under the queue's condition (LX502 discipline).
+        if status == "rejected":
+            self._admission_rejected.labels(lane=label).inc()
+            if self.journal is not None:
+                self.journal.emit(
+                    UPDATE_REJECTED,
+                    trace=trace,
+                    key=getattr(descriptor, "key", None),
+                    lane=label,
+                    depth=depth,
+                    limit=self.depth_limit,
+                    waited=round(waited, 6),
+                )
+            raise QueueSaturatedError(label, depth, self.depth_limit)
+        if status == "deferred" and self.journal is not None:
+            self.journal.emit(
+                UPDATE_DEFERRED,
+                trace=trace,
+                key=getattr(descriptor, "key", None),
+                lane=label,
+                waited=round(waited, 6),
+            )
+        return status
 
     # -- the barrier protocol ------------------------------------------------
 
@@ -540,6 +671,8 @@ class ShardedUpdateQueue:
                 {
                     "lane": label,
                     "depth": len(self._waiting[label]),
+                    "outstanding": len(self._outstanding[label]),
+                    "limit": self.depth_limit,
                     "oldest_age": self._lane_age(label, now),
                     "last_serial": self._lane_last[label],
                 }

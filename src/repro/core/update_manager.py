@@ -37,10 +37,19 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..ldap.backend import ChangeType
-from ..ldap.protocol import Session
+from ..ldap.protocol import (
+    AddRequest,
+    DeleteRequest,
+    LdapRequest,
+    ModifyRdnRequest,
+    ModifyRequest,
+    ModOp,
+    Session,
+)
+from ..ldap.result import ServerBusyError
 from ..ldap.server import LdapServer
 from ..lexpress.closure import ClosureEngine
-from ..lexpress.descriptor import TargetUpdate, UpdateDescriptor
+from ..lexpress.descriptor import TargetUpdate, UpdateDescriptor, UpdateOp
 from ..lexpress.mapping import CompiledMapping
 from ..lexpress.partition import PartitionConstraint
 from ..ltap.connection import ConnectionManager
@@ -55,7 +64,12 @@ from .filters.base import Filter, FilterError
 from .filters.device_filter import DeviceFilter
 from .filters.ldap_filter import LdapFilter
 from .pipeline import FailurePolicy, UpdateSequencePipeline, _descriptor_from_event
-from .queue import GlobalUpdateQueue, QueuedUpdate, ShardedUpdateQueue
+from .queue import (
+    GlobalUpdateQueue,
+    QueuedUpdate,
+    QueueSaturatedError,
+    ShardedUpdateQueue,
+)
 
 
 @dataclass
@@ -91,6 +105,9 @@ class UpdateManager:
         health=None,
         coordinator_lanes: int = 1,
         routing_plan=None,
+        lane_depth_limit: int | None = None,
+        busy_policy: str = "reject",
+        busy_timeout: float = 0.5,
     ):
         self.server = server
         self.gateway = gateway
@@ -103,6 +120,13 @@ class UpdateManager:
         self.health = health
         self.coordinator_lanes = max(1, coordinator_lanes)
         self.routing_plan = routing_plan
+        if busy_policy not in ("reject", "defer"):
+            raise ValueError("busy_policy must be 'reject' or 'defer'")
+        #: Admission policy when a lane is at its depth limit: ``reject``
+        #: answers ServerBusy immediately, ``defer`` waits up to
+        #: ``busy_timeout`` seconds for capacity first.
+        self.busy_policy = busy_policy
+        self.busy_timeout = busy_timeout
         if self.coordinator_lanes > 1:
             # Sharded drain path: the routing oracle's lane keys spread
             # provably-commuting updates over concurrent coordinator
@@ -118,6 +142,7 @@ class UpdateManager:
                     lanes=self.coordinator_lanes,
                     registry=self.registry,
                     journal=journal,
+                    depth_limit=lane_depth_limit,
                 )
             )
         else:
@@ -409,6 +434,96 @@ class UpdateManager:
     def sharded(self) -> bool:
         """True when the drain path runs multiple coordinator lanes."""
         return isinstance(self.queue, ShardedUpdateQueue)
+
+    # -- admission control (the LTAP gateway hook) ----------------------------------
+
+    def admission_check(self, request: LdapRequest, session: Session) -> None:
+        """Gate one inbound LTAP update on coordinator-lane capacity.
+
+        Installed as :attr:`LtapGateway.admission` when a
+        ``lane_depth_limit`` is configured: runs *before* the directory
+        write, builds a best-effort descriptor from the request so the
+        routing oracle can name the lane the update would land on, and
+        defers (``busy_policy="defer"``) or rejects with
+        :class:`~repro.ldap.result.ServerBusyError` when that lane is at
+        its depth limit.  A rejected update never reaches the directory,
+        so nothing is lost, duplicated, or left to compensate."""
+        if (
+            not isinstance(self.queue, ShardedUpdateQueue)
+            or self.queue.depth_limit is None
+        ):
+            return
+        rename = isinstance(request, ModifyRdnRequest)
+        descriptor = self._probe_descriptor(request)
+        if descriptor is None:
+            return
+        timeout = self.busy_timeout if self.busy_policy == "defer" else None
+        trace = session.state.get(OBS_TRACE) if session is not None else None
+        try:
+            self.queue.admit(
+                descriptor, rename=rename, timeout=timeout, trace=trace
+            )
+        except QueueSaturatedError as exc:
+            raise ServerBusyError(str(exc)) from exc
+
+    def _probe_descriptor(
+        self, request: LdapRequest
+    ) -> UpdateDescriptor | None:
+        """A descriptor approximating the one the real claim will build.
+
+        Adds carry their full new image, so their lane is exact.  Modify
+        and delete probes use the entry's *current* image (the request has
+        not been applied yet) — the lane key derives from the record's
+        device-key claims, which a plain modify does not move, so the
+        approximation only drifts for cross-partition moves the real
+        claim serializes anyway."""
+        if isinstance(request, AddRequest):
+            attrs = request.entry.attributes.to_dict()
+            return UpdateDescriptor(
+                op=UpdateOp.ADD,
+                source="ldap",
+                key=str(request.entry.dn),
+                old=None,
+                new=attrs,
+                explicit=frozenset(n.lower() for n in attrs),
+                origin="ldap",
+            )
+        if isinstance(
+            request, (ModifyRequest, DeleteRequest, ModifyRdnRequest)
+        ):
+            entry = self.gateway._snapshot(request.dn)
+            attrs = entry.attributes.to_dict() if entry is not None else None
+            if isinstance(request, DeleteRequest):
+                return UpdateDescriptor(
+                    op=UpdateOp.DELETE,
+                    source="ldap",
+                    key=str(request.dn),
+                    old=attrs,
+                    new=None,
+                    explicit=frozenset(
+                        n.lower() for n in (attrs or {})
+                    ),
+                    origin="ldap",
+                )
+            new = dict(attrs) if attrs else {}
+            explicit: set[str] = set()
+            if isinstance(request, ModifyRequest):
+                for mod in request.modifications:
+                    explicit.add(mod.attribute.lower())
+                    if mod.op is ModOp.DELETE and not mod.values:
+                        new.pop(mod.attribute, None)
+                    elif mod.values:
+                        new[mod.attribute] = list(mod.values)
+            return UpdateDescriptor(
+                op=UpdateOp.MODIFY,
+                source="ldap",
+                key=str(request.dn),
+                old=attrs,
+                new=new or None,
+                explicit=frozenset(explicit),
+                origin="ldap",
+            )
+        return None
 
     # -- LDAP event intake ---------------------------------------------------------
 

@@ -19,7 +19,35 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (links imports base)
+    from concurrent.futures import Future
+
+    from .links import DeviceLink
+
+
+# Thread-local marker set by the link dispatcher while it executes queued
+# operations: the round-trip was already paid for the whole batch, so the
+# per-op link simulation and per-op telemetry are suppressed, and commit
+# notifications are *deferred* to the dispatcher's notifier thread instead
+# of being delivered inline (a DDU listener may fan back into the links and
+# must not run on the dispatcher itself).
+_LINK_EXECUTION = threading.local()
+
+
+@contextmanager
+def link_execution(sink: list["DeviceNotification"]):
+    """Mark the current thread as executing inside a device-link flush."""
+    _LINK_EXECUTION.sink = sink
+    try:
+        yield
+    finally:
+        _LINK_EXECUTION.sink = None
+
+
+def _link_sink() -> "list[DeviceNotification] | None":
+    return getattr(_LINK_EXECUTION, "sink", None)
 
 
 class DeviceError(Exception):
@@ -102,6 +130,23 @@ class Device:
         #: reached over a serial craft interface or network hop, and the
         #: fan-out benchmarks use this to model that latency.
         self.link_latency: float = 0.0
+        #: When True the management link is modelled as a *serial craft
+        #: channel*: concurrent write ops queue for the channel and each
+        #: holds it for its full round-trip(s).  Real OSSI terminals are
+        #: single administration sessions — two blocking writers cannot
+        #: overlap their round-trips.  Off by default so existing tests and
+        #: benchmarks keep the optimistic parallel-link model.
+        self.link_serial: bool = False
+        #: Number of OSSI commands one mutating op costs on the blocking
+        #: path (e.g. a messaging add = add subscriber + set COS + enable).
+        #: The pipelined link stream amortises these: a flushed batch is one
+        #: command stream, i.e. one round-trip, regardless of op count.
+        self.link_commands: int = 1
+        self._channel_lock = threading.Lock()
+        self._channel_free_at = 0.0
+        #: Attached :class:`repro.devices.links.DeviceLink` (if any) — set
+        #: by :meth:`attach_link`, used by the non-blocking :meth:`submit`.
+        self.link: "DeviceLink | None" = None
         #: Optional fault hook: called as (op, key) before each update and
         #: may raise to simulate device errors.
         self.fault_injector: Callable[[str, str], None] | None = None
@@ -124,6 +169,12 @@ class Device:
         self._listeners.remove(listener)
 
     def _notify(self, notification: DeviceNotification) -> None:
+        sink = _link_sink()
+        if sink is not None:
+            # Inside a link flush: queue for the dispatcher's notifier
+            # thread, which delivers in commit order.
+            sink.append(notification)
+            return
         for listener in list(self._listeners):
             listener(notification)
 
@@ -162,17 +213,51 @@ class Device:
             self.fault_injector(op, key)
 
     def _link(self) -> None:
-        if self.link_latency > 0:
-            time.sleep(self.link_latency)
+        """Pay one management-link round-trip for a blocking write.
+
+        Suppressed inside a link flush — the pipelined stream already paid
+        one round-trip for the whole batch.  With :attr:`link_serial` the
+        op reserves the craft channel for ``link_commands`` sequential
+        round-trips (the slot is computed under the channel lock, the wait
+        happens outside it)."""
+        if _link_sink() is not None:
+            return
+        latency = self.link_latency
+        if latency <= 0:
+            return
+        if self.link_serial:
+            self._wait_channel(latency * max(1, self.link_commands))
+        else:
+            time.sleep(latency)
+
+    def reserve_channel(self, duration: float) -> float:
+        """Reserve the next free slot on the serial craft channel.
+
+        Returns the monotonic time at which the reserved round-trip
+        completes; does not block.  The link dispatcher uses this as the
+        batch-completion deadline for a flushed command stream."""
+        with self._channel_lock:
+            start = max(time.monotonic(), self._channel_free_at)
+            self._channel_free_at = start + duration
+        return start + duration
+
+    def _wait_channel(self, duration: float) -> None:
+        wake = self.reserve_channel(duration)
+        delay = wake - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
 
     @contextmanager
     def _observed(self, op: str, key: str):
         """Time one write op for the ``op_observer`` link-telemetry hook.
 
         A no-op when no observer is attached; observer exceptions are
-        swallowed — telemetry must never change device semantics."""
+        swallowed — telemetry must never change device semantics.
+        Suppressed inside a link flush: the dispatcher reports the full
+        submit-to-completion latency itself via :meth:`observe_op`, and a
+        second near-zero sample here would pollute the reservoir."""
         observer = self.op_observer
-        if observer is None:
+        if observer is None or _link_sink() is not None:
             yield
             return
         start = time.perf_counter()
@@ -315,6 +400,47 @@ class Device:
             )
         self._notify(notification)
         return dict(current)
+
+    # -- non-blocking link API ---------------------------------------------------
+
+    def attach_link(self, link: "DeviceLink") -> None:
+        """Attach the event-driven device link used by :meth:`submit`."""
+        self.link = link
+
+    def submit(
+        self, op: str, *args, agent: str = "local", **kwargs
+    ) -> "Future[dict[str, str]]":
+        """Queue one write on the device link; returns a Future.
+
+        The legacy blocking calls (:meth:`add` …) remain the standalone
+        DDU surface; this is the pipelined alternative for callers that
+        can overlap round-trips.  Requires an attached link."""
+        if self.link is None:
+            raise DeviceError(f"{self.name}: no device link attached")
+        if op not in ("add", "modify", "delete"):
+            raise InvalidFieldError(f"{self.name}: cannot submit op {op!r}")
+        method = getattr(self, op)
+        if op == "add":
+            key = str(args[0].get(self.key_field, "")) if args else ""
+        else:
+            key = str(args[0]) if args else ""
+        return self.link.submit(
+            lambda: method(*args, agent=agent, **kwargs), op=op, key=key
+        )
+
+    def observe_op(self, op: str, key: str, seconds: float, ok: bool) -> None:
+        """Feed one completed link op into the ``op_observer`` hook.
+
+        Called by the link dispatcher with submit-to-completion wall-clock
+        so the HealthBoard reservoirs see the same signal they would from
+        the blocking path."""
+        observer = self.op_observer
+        if observer is None:
+            return
+        try:
+            observer(op, str(key), seconds, ok)
+        except Exception:
+            pass
 
     # -- reads -----------------------------------------------------------------
 

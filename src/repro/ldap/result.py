@@ -92,3 +92,10 @@ class BusyError(LdapError):
 
     def __init__(self, message: str = ""):
         super().__init__(ResultCode.BUSY, message)
+
+
+class ServerBusyError(BusyError):
+    """Admission control turned the write away: the Update Manager's
+    device links and coordinator lanes are saturated, and the system
+    prefers a typed busy answer over unbounded queueing.  Clients should
+    back off and retry; the rejected write never reached the directory."""

@@ -100,6 +100,12 @@ class LtapGateway:
         self.library_mode = library_mode
         self.read_tax = read_tax
         self.tracer = tracer
+        #: Optional admission hook, called with ``(request, session)``
+        #: before any lock or directory write.  Raising
+        #: :class:`~repro.ldap.result.ServerBusyError` turns the update
+        #: away with a typed busy result — the top of the backpressure
+        #: chain that starts at the device links (docs/DEVICE_LINKS.md).
+        self.admission: Callable[[LdapRequest, Session], None] | None = None
         self._quiesce_lock = threading.Condition()
         self._quiesce_owner: Session | None = None
         registry = registry if registry is not None else MetricsRegistry()
@@ -115,6 +121,10 @@ class LtapGateway:
         self._quiesce_waits = registry.counter(
             "metacomm_ltap_quiesce_waits_total",
             "Updates turned away while a synchronization quiesce was held",
+        )
+        self._busy = registry.counter(
+            "metacomm_ltap_busy_total",
+            "Updates turned away with ServerBusy by admission control",
         )
         self._trigger_fires = registry.counter(
             "metacomm_ltap_trigger_fires_total",
@@ -136,6 +146,7 @@ class LtapGateway:
                 ),
                 "updates_rejected": lambda: self._rejected.value,
                 "quiesce_waits": lambda: self._quiesce_waits.value,
+                "busy_rejected": lambda: self._busy.value,
             }
         )
 
@@ -215,6 +226,21 @@ class LtapGateway:
 
     def _process_update(self, request: LdapRequest, session: Session) -> LdapResponse:
         self._check_quiesce(session)
+        if (
+            self.admission is not None
+            and not session.state.get(SUPPRESS_TRIGGERS)
+            and session.state.get("metacomm.origin") is None
+        ):
+            # Admission runs before any lock or directory write, so a busy
+            # rejection leaves nothing behind to lose or compensate.
+            # Internal writers bypass: supplemental writes (suppressed
+            # triggers) and DDU forwards (origin-stamped sessions) carry
+            # updates the system already accepted.
+            try:
+                self.admission(request, session)
+            except BusyError:
+                self._busy.inc()
+                raise
         change_type, dn = self._classify(request)
         trace, owns_trace = self._begin_trace(session, change_type, dn)
         start = time.perf_counter()

@@ -37,7 +37,10 @@ __all__ = [
     # event kinds
     "UPDATE_ACCEPTED",
     "UPDATE_CLAIMED",
+    "UPDATE_DEFERRED",
+    "UPDATE_REJECTED",
     "LANE_BARRIER",
+    "LINK_FLUSH",
     "UPDATE_PLANNED",
     "SEQUENCE_ABORTED",
     "DEVICE_ATTEMPT",
@@ -64,9 +67,19 @@ UPDATE_ACCEPTED = "update.accepted"
 #: The coordinator took the descriptor for processing.  Under a sharded
 #: queue the event carries the lane label the routing oracle assigned.
 UPDATE_CLAIMED = "update.claimed"
+#: Admission control made a prospective update wait for lane capacity
+#: before LTAP accepted it (carries ``lane`` and the ``waited`` seconds).
+UPDATE_DEFERRED = "update.deferred"
+#: Admission control turned a prospective update away — the lane stayed
+#: at its depth limit and LTAP answered ServerBusy.  Emitted *before*
+#: any directory write, so a rejected update leaves no partial state.
+UPDATE_REJECTED = "update.rejected"
 #: A serial-lane item cleared the quiescence barrier: every concurrent
 #: lane drained past its serial (docs/CONCURRENCY.md).
 LANE_BARRIER = "queue.barrier"
+#: A device link flushed one pipelined command stream (carries ``device``,
+#: the coalesced ``ops`` count and the ok/failed split).
+LINK_FLUSH = "link.flush"
 #: The pipeline finished enrich+plan (carries the device fan-out count).
 UPDATE_PLANNED = "update.planned"
 #: A repository rejection aborted the remaining sequence.
@@ -110,7 +123,10 @@ WITNESS_VIOLATION = "witness.violation"
 EVENT_KINDS = (
     UPDATE_ACCEPTED,
     UPDATE_CLAIMED,
+    UPDATE_DEFERRED,
+    UPDATE_REJECTED,
     LANE_BARRIER,
+    LINK_FLUSH,
     UPDATE_PLANNED,
     SEQUENCE_ABORTED,
     DEVICE_ATTEMPT,

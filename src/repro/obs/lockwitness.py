@@ -366,4 +366,13 @@ def witness_system(system, witness: LockWitness | None = None) -> LockWitness:
     error_log._lock = witness.wrap("ErrorLog._lock", error_log._lock)
     auditor = system.auditor
     auditor._lock = witness.wrap("ConsistencyAuditor._lock", auditor._lock)
+    links = getattr(system, "links", None)
+    if links is not None:
+        # Safe only because MetaComm defers links.start() until after this
+        # wrapping: swapping a Condition out from under a waiting thread
+        # would split the waiters between two locks.
+        links._cond = witness.wrap("LinkDispatcher._cond", links._cond)
+        links._notify_cond = witness.wrap(
+            "LinkDispatcher._notify_cond", links._notify_cond
+        )
     return witness

@@ -365,7 +365,15 @@ class TestShardedQueue:
         assert [row["lane"] for row in snapshot] == list(queue.labels)
         assert sum(row["depth"] for row in snapshot) == 1
         assert all(
-            set(row) == {"lane", "depth", "oldest_age", "last_serial"}
+            set(row)
+            == {
+                "lane",
+                "depth",
+                "oldest_age",
+                "last_serial",
+                "outstanding",
+                "limit",
+            }
             for row in snapshot
         )
 
